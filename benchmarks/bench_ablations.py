@@ -1,0 +1,21 @@
+"""Benchmark: Section 6 guideline ablations.
+
+Regenerates the sensitivity studies the design guidelines rest on: bridge
+split capability, initiator outstanding budget, the LMI optimisation
+engine, message-based arbitration and LMI input-FIFO depth.
+"""
+
+from repro.experiments import ablations
+
+
+
+def _run():
+    data = ablations.run(traffic_scale=0.5)
+    failures = ablations.check(data)
+    return data, failures
+
+
+def test_ablations(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("ablations", ablations.report(data))
+    assert failures == [], failures

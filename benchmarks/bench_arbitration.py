@@ -1,0 +1,20 @@
+"""Benchmark: arbitration-policy study (extension, ref. [13] of the paper).
+
+Regenerates the efficiency-vs-fairness comparison of the four arbiters on
+a saturated many-to-one layer: policies tie on execution time (the memory
+is the bottleneck) but differ sharply in per-initiator latency fairness.
+"""
+
+from repro.experiments import arbitration_study
+
+
+def _run():
+    data = arbitration_study.run(initiators=6, transactions=40)
+    failures = arbitration_study.check(data)
+    return data, failures
+
+
+def test_arbitration(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("arbitration_study", arbitration_study.report(data))
+    assert failures == [], failures

@@ -1,0 +1,22 @@
+"""Benchmark: Fig. 3 — MPSoC platform instances with on-chip memory.
+
+Regenerates the five bars (collapsed AXI / collapsed STBus / full STBus /
+full AHB / distributed AXI, normalised execution time) and asserts the
+paper's ordering: the three STBus-group bars equivalent, the
+blocking-bridge variants clearly slower, full AHB at the top.
+"""
+
+from repro.experiments import fig3_platform_instances
+
+
+
+def _run():
+    data = fig3_platform_instances.run(traffic_scale=1.0)
+    failures = fig3_platform_instances.check(data)
+    return data, failures
+
+
+def test_fig3(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig3_platforms", fig3_platform_instances.report(data))
+    assert failures == [], failures

@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 4 — distributed vs centralized vs memory speed.
+
+Regenerates the latency sweep and asserts the paper's shape: topologies
+close at fast memory, a growing distributed advantage as the memory's
+response latency rises.
+"""
+
+from repro.experiments import fig4_memory_speed
+
+
+
+def _run():
+    data = fig4_memory_speed.run(traffic_scale=0.5)
+    failures = fig4_memory_speed.check(data)
+    return data, failures
+
+
+def test_fig4(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig4_memory_speed", fig4_memory_speed.report(data))
+    assert failures == [], failures

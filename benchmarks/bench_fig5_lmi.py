@@ -1,0 +1,21 @@
+"""Benchmark: Fig. 5 — platform instances with the LMI memory controller.
+
+Regenerates the four bars and asserts the paper's ordering plus the
+mechanism behind it: split paths feed the LMI optimisation engine
+(merges > 0), non-split converters starve it (merges == 0).
+"""
+
+from repro.experiments import fig5_lmi_platforms
+
+
+
+def _run():
+    data = fig5_lmi_platforms.run(traffic_scale=1.0)
+    failures = fig5_lmi_platforms.check(data)
+    return data, failures
+
+
+def test_fig5(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig5_lmi", fig5_lmi_platforms.report(data))
+    assert failures == [], failures

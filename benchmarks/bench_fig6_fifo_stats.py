@@ -1,0 +1,23 @@
+"""Benchmark: Fig. 6 — LMI bus-interface statistics.
+
+Regenerates the two-working-regime breakdown for the full STBus platform
+and the full-AHB comparison, asserting: an intensive phase with the input
+FIFO full a large fraction of the time and hardly ever empty, a burstier
+second phase with much more empty time, and the AHB diagnosis (FIFO never
+full, ~no incoming requests -> the interconnect is the bottleneck).
+"""
+
+from repro.experiments import fig6_lmi_statistics
+
+
+
+def _run():
+    data = fig6_lmi_statistics.run(traffic_scale=1.0)
+    failures = fig6_lmi_statistics.check(data)
+    return data, failures
+
+
+def test_fig6(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("fig6_fifo_stats", fig6_lmi_statistics.report(data))
+    assert failures == [], failures

@@ -1,0 +1,20 @@
+"""Benchmark: I/O QoS study (extension, guideline 4).
+
+Regenerates the display-vs-DMA contention comparison: round-robin
+arbitration underruns the panel; priority labels remove the bottleneck
+without losing DMA work.
+"""
+
+from repro.experiments import io_qos
+
+
+def _run():
+    data = io_qos.run()
+    failures = io_qos.check(data)
+    return data, failures
+
+
+def test_io_qos(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("io_qos", io_qos.report(data))
+    assert failures == [], failures

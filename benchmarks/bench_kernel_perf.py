@@ -1,0 +1,76 @@
+"""Benchmark: simulator performance (events/second).
+
+The paper chose abstraction levels to "speed up the analysis"; these
+microbenchmarks track our kernel's raw event throughput and the cost of a
+full platform run, so abstraction-level trade-offs (see
+``examples/abstraction_levels.py``) rest on measured numbers.
+
+Unlike the figure benchmarks these are *performance* benchmarks: multiple
+rounds, wall-clock statistics.
+"""
+
+import pytest
+
+from repro.core import Fifo, Simulator
+from repro.platforms import build_platform, quick_config
+
+
+def _timeout_storm():
+    sim = Simulator()
+
+    def pinger():
+        for _ in range(2_000):
+            yield sim.timeout(7)
+
+    for _ in range(4):
+        sim.process(pinger())
+    sim.run()
+    return sim.processed_events
+
+
+def _fifo_pipeline():
+    sim = Simulator()
+    stages = [Fifo(sim, 4, name=f"s{i}") for i in range(4)]
+
+    def feeder():
+        for i in range(1_000):
+            yield stages[0].put(i)
+
+    def mover(src, dst):
+        while True:
+            item = yield src.get()
+            yield dst.put(item)
+
+    def sink():
+        for _ in range(1_000):
+            yield stages[-1].get()
+
+    sim.process(feeder())
+    for a, b in zip(stages, stages[1:]):
+        sim.process(mover(a, b))
+    sim.process(sink())
+    sim.run(until=10_000_000_000, max_events=10_000_000)
+    return sim.processed_events
+
+
+def _platform_run():
+    sim = Simulator()
+    platform = build_platform(sim, quick_config())
+    platform.run(max_ps=10**13)
+    return sim.processed_events
+
+
+def test_kernel_event_throughput(benchmark):
+    events = benchmark(_timeout_storm)
+    # 4 x (bootstrap + 2000 timeouts + completion) events.
+    assert events == 8_008
+
+
+def test_fifo_pipeline_throughput(benchmark):
+    events = benchmark(_fifo_pipeline)
+    assert events > 4_000
+
+
+def test_platform_events_per_run(benchmark):
+    events = benchmark.pedantic(_platform_run, rounds=2, iterations=1)
+    assert events > 1_000

@@ -1,0 +1,20 @@
+"""Benchmark: path-segmentation study (extension, guideline 5).
+
+Quantifies the guideline's open question: segmenting a master-to-memory
+path into multiple hops is nearly free with split-capable (GenConv-class)
+bridges and prohibitively expensive with lightweight blocking ones.
+"""
+
+from repro.experiments import path_segmentation
+
+
+def _run():
+    data = path_segmentation.run(max_hops=3, transactions=20)
+    failures = path_segmentation.check(data)
+    return data, failures
+
+
+def test_path_segmentation(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("path_segmentation", path_segmentation.report(data))
+    assert failures == [], failures

@@ -1,0 +1,26 @@
+"""Benchmark: Section 4.1.1 — single-layer, many-to-many traffic.
+
+Regenerates the load sweep (AHB vs STBus vs AXI) and the STBus
+target-buffering series; asserts the paper's shape claims:
+protocols equivalent at light load, AXI more robust at saturation, STBus
+closing the gap with more target-interface buffering, AHB degraded by
+unmasked wait states.
+"""
+
+from repro.experiments import single_layer
+
+
+
+def _run():
+    data = single_layer.run_many_to_many(initiators=8, targets=4,
+                                         transactions=50)
+    failures = single_layer.check_many_to_many(data)
+    return data, failures
+
+
+def test_many_to_many(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("s411_many_to_many",
+            "Section 4.1.1 — many-to-many single layer\n\n"
+            + single_layer.report_many_to_many(data))
+    assert failures == [], failures

@@ -1,0 +1,24 @@
+"""Benchmark: Section 4.1.2 — single-layer, many-to-one traffic.
+
+Regenerates the experiment behind the paper's (unreported-because-equal)
+single-slave comparison: all three protocols sustain the 50%
+response-channel efficiency bound of a 1-wait-state memory and finish
+within a few percent of each other.
+"""
+
+from repro.experiments import single_layer
+
+
+
+def _run():
+    data = single_layer.run_many_to_one(initiators=8, transactions=60)
+    failures = single_layer.check_many_to_one(data)
+    return data, failures
+
+
+def test_many_to_one(benchmark, publish):
+    data, failures = benchmark.pedantic(_run, rounds=1, iterations=1)
+    publish("s412_many_to_one",
+            "Section 4.1.2 — many-to-one single layer\n\n"
+            + single_layer.report_many_to_one(data))
+    assert failures == [], failures

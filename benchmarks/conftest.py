@@ -1,0 +1,29 @@
+"""Benchmark-harness helpers.
+
+Every benchmark regenerates one figure/table of the paper at full scale,
+verifies the paper's *shape* claims against the simulated results and
+writes the rendered figure data to ``benchmarks/results/``.
+"""
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a figure report and persist it under benchmarks/results/."""
+
+    def _publish(name, text):
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

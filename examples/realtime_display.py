@@ -1,0 +1,30 @@
+#!/usr/bin/env python3
+"""Real-time scan-out under memory contention (guideline 4).
+
+A display controller must fetch one frame-buffer line from the LMI + DDR
+memory every line period while two DMA engines stream through the same
+controller.  With plain round-robin arbitration the panel underruns; with
+priority labels on the display's requests (an STBus Type-2+ feature) the
+I/O bottleneck disappears — and the DMA traffic still completes.
+
+Run with::
+
+    python examples/realtime_display.py
+"""
+
+from repro.experiments import io_qos
+
+
+def main() -> None:
+    data = io_qos.run(lines=40)
+    print(io_qos.report(data))
+    failures = io_qos.check(data)
+    print("\nshape claims:", "all hold" if not failures else failures)
+    print("\nInterpretation: monitoring only the bus would show 'low "
+          "display bandwidth' in both cases; the deadline margins show "
+          "the round-robin architecture is the bottleneck, and a "
+          "priority-aware I/O architecture removes it (guideline 4).")
+
+
+if __name__ == "__main__":
+    main()

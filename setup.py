@@ -1,0 +1,8 @@
+"""Setup shim for environments whose pip cannot build PEP 517 editable wheels
+(the offline container lacks the ``wheel`` package).  ``pip install -e .``
+falls back to this via ``python setup.py develop``; configuration lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,47 @@
+"""Analysis: interface monitors, run metrics, plain-text reporting."""
+
+from .export import (
+    histogram_chart,
+    latency_histogram,
+    results_to_csv,
+    transactions_to_csv,
+)
+from .fifo_monitor import (
+    STATE_FULL,
+    STATE_IDLE,
+    STATE_STORING,
+    InterfaceMonitor,
+)
+from .metrics import RunResult, normalize, speedup, summarize_transactions
+from .report import bar_chart, breakdown_chart, format_table, percent
+from .timeline import (
+    TimelineSampler,
+    busy_probe,
+    counter_probe,
+    fifo_level_probe,
+)
+from .vcd import VcdWriter
+
+__all__ = [
+    "InterfaceMonitor",
+    "RunResult",
+    "STATE_FULL",
+    "STATE_IDLE",
+    "STATE_STORING",
+    "TimelineSampler",
+    "VcdWriter",
+    "bar_chart",
+    "breakdown_chart",
+    "busy_probe",
+    "counter_probe",
+    "fifo_level_probe",
+    "format_table",
+    "histogram_chart",
+    "latency_histogram",
+    "normalize",
+    "percent",
+    "results_to_csv",
+    "speedup",
+    "summarize_transactions",
+    "transactions_to_csv",
+]

@@ -1,0 +1,97 @@
+"""Export of run results and latency populations to CSV.
+
+The statistics system keeps everything in memory; these helpers persist it
+for downstream tooling (spreadsheets, plotting scripts), mirroring how the
+paper's statistics collection fed its figures.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, List, Mapping, Sequence, Union
+
+from ..interconnect.types import Transaction
+from .metrics import RunResult
+
+PathLike = Union[str, Path]
+
+
+def results_to_csv(path: PathLike, results: Iterable[RunResult]) -> None:
+    """One row per run: execution time, throughput, latencies, extras.
+
+    Extra/utilisation keys are unioned across runs; missing cells are
+    left empty so heterogeneous experiments can share a file.
+    """
+    rows = list(results)
+    util_keys = sorted({k for r in rows for k in r.utilization})
+    extra_keys = sorted({k for r in rows for k in r.extra})
+    header = (["label", "execution_time_ps", "transactions",
+               "bytes_transferred", "mean_latency_ps", "p95_latency_ps"]
+              + [f"util.{k}" for k in util_keys]
+              + [f"extra.{k}" for k in extra_keys])
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(header)
+        for result in rows:
+            writer.writerow(
+                [result.label, result.execution_time_ps,
+                 result.transactions, result.bytes_transferred,
+                 f"{result.mean_latency_ps:.1f}",
+                 f"{result.p95_latency_ps:.1f}"]
+                + [result.utilization.get(k, "") for k in util_keys]
+                + [result.extra.get(k, "") for k in extra_keys])
+
+
+def transactions_to_csv(path: PathLike,
+                        transactions: Iterable[Transaction]) -> None:
+    """One row per transaction with the full lifecycle timestamps."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["tid", "initiator", "opcode", "address", "beats",
+                         "beat_bytes", "t_created", "t_issued", "t_granted",
+                         "t_accepted", "t_first_data", "t_done",
+                         "latency_ps", "error"])
+        for txn in transactions:
+            writer.writerow([txn.tid, txn.initiator, txn.opcode.value,
+                             f"{txn.address:#x}", txn.beats, txn.beat_bytes,
+                             txn.t_created, txn.t_issued, txn.t_granted,
+                             txn.t_accepted, txn.t_first_data, txn.t_done,
+                             txn.latency_ps, int(txn.error)])
+
+
+def latency_histogram(samples: Sequence[int], bins: int = 10) -> List[tuple]:
+    """Equal-width histogram of a latency population.
+
+    Returns ``[(low, high, count), ...]`` covering [min, max]; the final
+    bin is inclusive of the maximum.
+    """
+    if bins < 1:
+        raise ValueError("bins must be >= 1")
+    values = sorted(samples)
+    if not values:
+        return []
+    low, high = values[0], values[-1]
+    if low == high:
+        return [(low, high, len(values))]
+    width = (high - low) / bins
+    counts = [0] * bins
+    for value in values:
+        index = min(bins - 1, int((value - low) / width))
+        counts[index] += 1
+    return [(low + i * width, low + (i + 1) * width, counts[i])
+            for i in range(bins)]
+
+
+def histogram_chart(histogram: Sequence[tuple], width: int = 40,
+                    unit_scale: float = 1000.0, unit: str = "ns") -> str:
+    """ASCII rendering of :func:`latency_histogram` output."""
+    if not histogram:
+        return "(no samples)"
+    peak = max(count for *_edges, count in histogram) or 1
+    lines = []
+    for low, high, count in histogram:
+        bar = "#" * int(round(width * count / peak))
+        lines.append(f"{low / unit_scale:9.1f}-{high / unit_scale:9.1f} "
+                     f"{unit} |{bar.ljust(width)}| {count}")
+    return "\n".join(lines)

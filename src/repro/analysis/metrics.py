@@ -1,0 +1,90 @@
+"""Run-level performance metrics.
+
+The macroscopic metric of Figs. 3-5 is *execution time* (reported
+normalised), backed by channel utilisations, latency populations and
+throughput.  :class:`RunResult` is the value object every experiment
+returns; helpers normalise result sets the way the paper's figures do.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from ..interconnect.types import Transaction
+
+
+@dataclass
+class RunResult:
+    """Outcome of one platform simulation."""
+
+    label: str
+    execution_time_ps: int
+    transactions: int
+    bytes_transferred: int
+    #: Channel utilisations, keyed "<fabric>.<channel>".
+    utilization: Dict[str, float] = field(default_factory=dict)
+    mean_latency_ps: float = 0.0
+    p95_latency_ps: float = 0.0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def execution_time_ns(self) -> float:
+        return self.execution_time_ps / 1_000
+
+    @property
+    def throughput_bytes_per_ns(self) -> float:
+        if self.execution_time_ps == 0:
+            return 0.0
+        return self.bytes_transferred / (self.execution_time_ps / 1_000)
+
+    def normalized_to(self, baseline: "RunResult") -> float:
+        """Execution time relative to ``baseline`` (Fig. 3/5 bar heights)."""
+        if baseline.execution_time_ps == 0:
+            return math.inf
+        return self.execution_time_ps / baseline.execution_time_ps
+
+
+def summarize_transactions(label: str, execution_time_ps: int,
+                           transactions: Iterable[Transaction],
+                           utilization: Optional[Dict[str, float]] = None,
+                           extra: Optional[Dict[str, float]] = None) -> RunResult:
+    """Build a :class:`RunResult` from a completed transaction population."""
+    txns = list(transactions)
+    done = [t for t in txns if t.t_done is not None]
+    latencies = sorted(t.latency_ps for t in done if t.latency_ps is not None)
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    p95 = latencies[int(0.95 * (len(latencies) - 1))] if latencies else 0.0
+    return RunResult(
+        label=label,
+        execution_time_ps=execution_time_ps,
+        transactions=len(done),
+        bytes_transferred=sum(t.total_bytes for t in done),
+        utilization=dict(utilization or {}),
+        mean_latency_ps=mean,
+        p95_latency_ps=float(p95),
+        extra=dict(extra or {}),
+    )
+
+
+def normalize(results: List[RunResult],
+              baseline_label: Optional[str] = None) -> Dict[str, float]:
+    """Normalised execution times (smallest = 1.0 unless a label is given)."""
+    if not results:
+        return {}
+    if baseline_label is None:
+        baseline = min(results, key=lambda r: r.execution_time_ps)
+    else:
+        matches = [r for r in results if r.label == baseline_label]
+        if not matches:
+            raise KeyError(f"no result labelled {baseline_label!r}")
+        baseline = matches[0]
+    return {r.label: r.normalized_to(baseline) for r in results}
+
+
+def speedup(slow: RunResult, fast: RunResult) -> float:
+    """How many times faster ``fast`` finished than ``slow``."""
+    if fast.execution_time_ps == 0:
+        return math.inf
+    return slow.execution_time_ps / fast.execution_time_ps

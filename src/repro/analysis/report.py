@@ -1,0 +1,76 @@
+"""Plain-text reporting: tables and bar charts for experiment output.
+
+The benchmark harness prints the same rows/series the paper's figures show;
+these helpers keep that output readable in a terminal and in the captured
+``bench_output.txt`` / ``EXPERIMENTS.md`` artefacts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_digits: int = 3) -> str:
+    """Monospace table with per-column alignment."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{float_digits}f}"
+        return str(cell)
+
+    body: List[List[str]] = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in body:
+        if len(row) != len(headers):
+            raise ValueError(f"row width {len(row)} != header width {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(values: Mapping[str, float], width: int = 40,
+              unit: str = "", max_value: Optional[float] = None) -> str:
+    """Horizontal ASCII bar chart (one bar per label)."""
+    if not values:
+        return "(no data)"
+    peak = max_value if max_value is not None else max(values.values())
+    peak = peak if peak > 0 else 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        filled = int(round(width * min(value, peak) / peak))
+        bar = "#" * filled
+        lines.append(f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+                     f"{value:.3f}{unit}")
+    return "\n".join(lines)
+
+
+def breakdown_chart(breakdowns: Mapping[str, Mapping[str, float]],
+                    states: Sequence[str], width: int = 50) -> str:
+    """Stacked-bar rendering of per-phase state fractions (Fig. 6 style)."""
+    glyphs = "#=+.~o*"
+    lines = []
+    for phase, fractions in breakdowns.items():
+        segments = []
+        for i, state in enumerate(states):
+            span = int(round(width * fractions.get(state, 0.0)))
+            segments.append(glyphs[i % len(glyphs)] * span)
+        bar = "".join(segments)[:width].ljust(width)
+        detail = " ".join(f"{state}={fractions.get(state, 0.0):.0%}"
+                          for state in states)
+        lines.append(f"{phase:<10} |{bar}| {detail}")
+    legend = " ".join(f"{glyphs[i % len(glyphs)]}={state}"
+                      for i, state in enumerate(states))
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def percent(value: float) -> str:
+    """Compact percentage formatting used throughout the harness output."""
+    return f"{100 * value:.1f}%"

@@ -1,0 +1,106 @@
+"""Time-series sampling of platform metrics (Section 5 instrumentation).
+
+Fig. 6 splits the application lifetime into regimes by hand; this sampler
+does the legwork: it records any set of numeric probes on a fixed period —
+bandwidth at the memory controller, FIFO occupancy, channel utilisation —
+producing the time series a designer scans to *find* the working regimes
+in the first place ("we have showed how to identify working conditions
+during application lifetime").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.kernel import Simulator
+from ..core.statistics import ChannelUtilization, Counter
+
+#: A probe returns the metric's current value.
+Probe = Callable[[], float]
+
+_SPARK_GLYPHS = " .:-=+*#%@"
+
+
+class TimelineSampler:
+    """Samples named probes every ``interval_ps`` for ``horizon_ps``."""
+
+    def __init__(self, sim: Simulator, interval_ps: int, horizon_ps: int,
+                 probes: Dict[str, Probe], name: str = "timeline") -> None:
+        if interval_ps <= 0 or horizon_ps <= 0:
+            raise ValueError("interval and horizon must be positive")
+        if not probes:
+            raise ValueError("need at least one probe")
+        self.sim = sim
+        self.name = name
+        self.interval_ps = interval_ps
+        self.horizon_ps = horizon_ps
+        self.probes = dict(probes)
+        #: One row per sample: (time_ps, {probe: value}).
+        self.samples: List[Tuple[int, Dict[str, float]]] = []
+        self._stopped = False
+        sim.process(self._sample(), name=f"{name}.sampler")
+
+    def stop(self) -> None:
+        """Stop sampling at the next tick."""
+        self._stopped = True
+
+    def _sample(self):
+        ticks = self.horizon_ps // self.interval_ps
+        for _tick in range(ticks):
+            yield self.sim.timeout(self.interval_ps)
+            if self._stopped:
+                return
+            row = {name: float(probe()) for name, probe in self.probes.items()}
+            self.samples.append((self.sim.now, row))
+
+    # ------------------------------------------------------------------
+    def series(self, probe: str) -> List[Tuple[int, float]]:
+        """The (time, value) series of one probe."""
+        if probe not in self.probes:
+            raise KeyError(f"unknown probe {probe!r}")
+        return [(t, row[probe]) for t, row in self.samples]
+
+    def deltas(self, probe: str) -> List[Tuple[int, float]]:
+        """Per-interval increments of a cumulative probe (e.g. a counter):
+        the *rate* series."""
+        series = self.series(probe)
+        out = []
+        last = 0.0
+        for t, value in series:
+            out.append((t, value - last))
+            last = value
+        return out
+
+    def sparkline(self, probe: str, rate: bool = False, width: int = 60) -> str:
+        """Compact one-line rendering of a probe (optionally its rate)."""
+        series = self.deltas(probe) if rate else self.series(probe)
+        if not series:
+            return "(no samples)"
+        values = [v for __, v in series]
+        if len(values) > width:
+            # Downsample by averaging buckets.
+            bucket = len(values) / width
+            values = [sum(values[int(i * bucket):int((i + 1) * bucket)])
+                      / max(1, len(values[int(i * bucket):int((i + 1) * bucket)]))
+                      for i in range(width)]
+        peak = max(values)
+        if peak <= 0:
+            return _SPARK_GLYPHS[0] * len(values)
+        steps = len(_SPARK_GLYPHS) - 1
+        return "".join(_SPARK_GLYPHS[min(steps, int(round(steps * v / peak)))]
+                       for v in values)
+
+
+def counter_probe(counter: Counter) -> Probe:
+    """Probe a cumulative counter (pair with :meth:`TimelineSampler.deltas`)."""
+    return lambda: float(counter.value)
+
+
+def busy_probe(channel: ChannelUtilization) -> Probe:
+    """Probe a channel's cumulative busy time (ps)."""
+    return lambda: float(channel.busy_ps)
+
+
+def fifo_level_probe(fifo) -> Probe:
+    """Probe a FIFO's instantaneous occupancy."""
+    return lambda: float(fifo.level)

@@ -1,0 +1,137 @@
+"""Minimal VCD (Value Change Dump) writer.
+
+The paper's controller model was validated "with RTL signal waveforms on a
+cycle-by-cycle basis"; this utility closes the loop in the other direction:
+dump simulation signals (FIFO occupancies, grant activity, arbitrary
+integers) as a ``.vcd`` file readable by GTKWave & co., so platform runs
+can be inspected against real waveforms.
+
+Usage::
+
+    vcd = VcdWriter(sim, "run.vcd")
+    lvl = vcd.register("lmi_fifo_level", width=8)
+    vcd.attach_fifo(port.request_fifo, "lmi_fifo")   # auto-traced
+    ...
+    sim.run()
+    vcd.close()
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..core.fifo import Fifo
+from ..core.kernel import Simulator
+
+#: Printable VCD identifier characters.
+_ID_ALPHABET = "".join(chr(c) for c in range(33, 127))
+
+
+class VcdSignal:
+    """Handle for one traced signal."""
+
+    __slots__ = ("writer", "ident", "name", "width", "_last")
+
+    def __init__(self, writer: "VcdWriter", ident: str, name: str,
+                 width: int) -> None:
+        self.writer = writer
+        self.ident = ident
+        self.name = name
+        self.width = width
+        self._last: Optional[int] = None
+
+    def set(self, value: int) -> None:
+        """Record ``value`` at the current simulation time (deduplicated)."""
+        if value == self._last:
+            return
+        self._last = value
+        self.writer._record(self.writer.sim.now, self.ident, value,
+                            self.width)
+
+
+class VcdWriter:
+    """Collects value changes and writes a VCD file on :meth:`close`."""
+
+    def __init__(self, sim: Simulator, path: Union[str, Path],
+                 timescale: str = "1 ps") -> None:
+        self.sim = sim
+        self.path = Path(path)
+        self.timescale = timescale
+        self._signals: List[VcdSignal] = []
+        self._changes: List[Tuple[int, str, int, int]] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, width: int = 8) -> VcdSignal:
+        """Declare a signal; returns the handle used to record values."""
+        if self._closed:
+            raise RuntimeError("VCD writer already closed")
+        if width < 1 or width > 64:
+            raise ValueError(f"signal width out of range: {width}")
+        ident = self._make_ident(len(self._signals))
+        signal = VcdSignal(self, ident, name, width)
+        self._signals.append(signal)
+        return signal
+
+    def attach_fifo(self, fifo: Fifo, name: str) -> VcdSignal:
+        """Trace a FIFO's occupancy automatically."""
+        width = max(1, fifo.capacity.bit_length())
+        signal = self.register(name, width=width)
+        signal.set(fifo.level)
+        fifo.watch(lambda _t, _old, new: signal.set(new))
+        return signal
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make_ident(index: int) -> str:
+        base = len(_ID_ALPHABET)
+        ident = ""
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, base)
+            ident = _ID_ALPHABET[rem] + ident
+        return ident
+
+    def _record(self, time_ps: int, ident: str, value: int,
+                width: int) -> None:
+        if self._closed:
+            raise RuntimeError("VCD writer already closed")
+        self._changes.append((time_ps, ident, value, width))
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Write the collected changes out.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        lines = [
+            "$date repro simulation $end",
+            "$version repro VcdWriter $end",
+            f"$timescale {self.timescale} $end",
+            "$scope module repro $end",
+        ]
+        for signal in self._signals:
+            safe = signal.name.replace(" ", "_")
+            lines.append(f"$var wire {signal.width} {signal.ident} "
+                         f"{safe} $end")
+        lines.append("$upscope $end")
+        lines.append("$enddefinitions $end")
+        current_time = None
+        for time_ps, ident, value, width in sorted(
+                self._changes, key=lambda change: change[0]):
+            if time_ps != current_time:
+                lines.append(f"#{time_ps}")
+                current_time = time_ps
+            if width == 1:
+                lines.append(f"{value & 1}{ident}")
+            else:
+                lines.append(f"b{value:b} {ident}")
+        lines.append(f"#{self.sim.now}")
+        self.path.write_text("\n".join(lines) + "\n")
+
+    def __enter__(self) -> "VcdWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,7 @@
+"""Bridges: lightweight hybrid bridges (Fig. 2) and STBus GenConv."""
+
+from .base import BridgeBase
+from .genconv import GenConvBridge
+from .lightweight import LightweightBridge
+
+__all__ = ["BridgeBase", "GenConvBridge", "LightweightBridge"]

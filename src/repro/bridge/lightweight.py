@@ -1,0 +1,101 @@
+"""Lightweight hybrid bridges (Fig. 2).
+
+"The developed bridges have some common features: (i) they handle write
+transactions in a store-and-forward fashion, (ii) they have a blocking
+target side in presence of read transactions and (iii) they have tunable
+latency.  These bridges were not designed to be competitive with the highly
+optimized STBus-STBus ones." (Section 3.2)
+
+The blocking read path is the single property that dominates Figs. 3 and 5:
+once a read is in flight the bridge accepts nothing else, so the source
+layer backs up exactly as the paper's AHB-AHB and AXI-AXI bridges do —
+"the distributed AXI platform [is] almost equivalent to the full AHB
+platform ... advanced features of AXI ... are vanished by poor bridge
+functionality".
+
+One class covers every protocol pairing (AHB-AHB, AXI-AXI, AHB-STBus,
+AXI-STBus, AHB-AXI, STBus-AHB, STBus-AXI): the fabric port abstraction does
+the protocol matching, and the *lightweight* policy — store-and-forward
+writes, fully blocking reads — is pairing-independent, which is exactly the
+paper's point about basic bridging functionality.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.component import Component
+from ..core.fifo import Fifo
+from ..core.kernel import Simulator
+from ..interconnect.base import Fabric
+from ..interconnect.types import AddressRange, ResponseBeat, Transaction
+from .base import BridgeBase
+
+
+class LightweightBridge(BridgeBase):
+    """Store-and-forward writes, blocking reads, tunable latency."""
+
+    def __init__(self, sim: Simulator, name: str, source: Fabric, dest: Fabric,
+                 address_range: AddressRange, crossing_cycles: int = 2,
+                 request_depth: int = 1, response_depth: int = 4,
+                 parent: Optional[Component] = None) -> None:
+        super().__init__(sim, name, source, dest, address_range,
+                         crossing_cycles=crossing_cycles,
+                         request_depth=request_depth,
+                         response_depth=response_depth,
+                         child_outstanding=1, parent=parent)
+        self.process(self._pump(), name="pump")
+
+    def _pump(self):
+        """Serve transactions one at a time — the blocking target side."""
+        while True:
+            txn: Transaction = yield self.target_port.get_request()
+            self.forwarded.add()
+            # Forward crossing (asynchronous FIFO + resynchronisation).
+            yield from self.cross(self.dest.clock)
+            child = self.make_child(txn)
+            if txn.is_read:
+                yield from self._blocking_read(txn, child)
+            else:
+                yield from self._store_and_forward_write(txn, child)
+
+    def _blocking_read(self, txn: Transaction, child: Transaction):
+        """Issue the child read and hold the bridge until it completes.
+
+        Response data is only relayed after the child finished (full
+        store-and-forward on the return path too — "implementing
+        non-blocking read transactions has a heavier impact on bridge
+        complexity" and the lightweight design explicitly avoids it).
+        """
+        yield self.init_port.issue(child)
+        if not child.ev_done.triggered:
+            yield child.ev_done
+        # Return crossing.
+        yield from self.cross(self.source.clock)
+        relay = self.make_relay(txn)
+        relay.error_seen = child.error  # propagate far-side bus errors
+        for _ in range(txn.beats):
+            yield self.target_port.put_beat(relay.emit())
+
+    def _store_and_forward_write(self, txn: Transaction, child: Transaction):
+        """Forward a fully-buffered write (store-and-forward).
+
+        The payload is re-serialised out of the store buffer one
+        destination-width beat per destination cycle before the child can be
+        issued.  The bridge accepts the next transaction once the child has
+        been queued — unless the source side needs an acknowledgement, in
+        which case the non-posted semantics keep the bridge (and therefore
+        the source layer) blocked until the far side confirms.
+        """
+        child.posted = txn.posted
+        yield self.dest.clock.edges(child.beats)
+        yield self.init_port.issue(child)
+        if txn.meta.get("needs_ack", False):
+            if not child.ev_done.triggered:
+                yield child.ev_done
+            yield from self.cross(self.source.clock)
+            yield self.target_port.put_beat(
+                ResponseBeat(txn, index=-1, is_last=True,
+                             error=child.error))
+        elif not txn.ev_done.triggered:
+            txn.complete(self.sim.now)

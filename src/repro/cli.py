@@ -1,0 +1,194 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list                         # available experiments
+    python -m repro run fig5 --scale 0.5         # run one, print the figure
+    python -m repro run all                      # the whole evaluation
+    python -m repro platform my_platform.json    # simulate a config file
+
+Each experiment prints the paper-style report and the outcome of its shape
+checks; the process exits non-zero if any claim fails, so the CLI is
+usable in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional, Tuple
+
+from . import experiments
+from .analysis import format_table
+
+#: name -> (description, runner(scale) -> (data, report_text, failures))
+Registry = Dict[str, Tuple[str, Callable]]
+
+
+def _wrap(module, **fixed):
+    def runner(scale: float):
+        data = module.run(traffic_scale=scale, **fixed)
+        return data, module.report(data), module.check(data)
+    return runner
+
+
+def _wrap_single_layer_m2m():
+    def runner(scale: float):
+        transactions = max(8, int(50 * scale))
+        data = experiments.single_layer.run_many_to_many(
+            transactions=transactions)
+        return (data, experiments.single_layer.report_many_to_many(data),
+                experiments.single_layer.check_many_to_many(data))
+    return runner
+
+
+def _wrap_single_layer_m2o():
+    def runner(scale: float):
+        transactions = max(8, int(60 * scale))
+        data = experiments.single_layer.run_many_to_one(
+            transactions=transactions)
+        return (data, experiments.single_layer.report_many_to_one(data),
+                experiments.single_layer.check_many_to_one(data))
+    return runner
+
+
+def _wrap_arbitration():
+    def runner(scale: float):
+        transactions = max(8, int(40 * scale))
+        data = experiments.arbitration_study.run(transactions=transactions)
+        return (data, experiments.arbitration_study.report(data),
+                experiments.arbitration_study.check(data))
+    return runner
+
+
+def _wrap_segmentation():
+    def runner(scale: float):
+        transactions = max(8, int(20 * scale))
+        data = experiments.path_segmentation.run(transactions=transactions)
+        return (data, experiments.path_segmentation.report(data),
+                experiments.path_segmentation.check(data))
+    return runner
+
+
+def _wrap_io_qos():
+    def runner(scale: float):
+        lines = max(10, int(40 * scale))
+        data = experiments.io_qos.run(lines=lines)
+        return (data, experiments.io_qos.report(data),
+                experiments.io_qos.check(data))
+    return runner
+
+
+def registry() -> Registry:
+    return {
+        "s411": ("Section 4.1.1 — many-to-many single layer",
+                 _wrap_single_layer_m2m()),
+        "s412": ("Section 4.1.2 — many-to-one single layer",
+                 _wrap_single_layer_m2o()),
+        "fig3": ("Fig. 3 — platform instances, on-chip memory",
+                 _wrap(experiments.fig3_platform_instances)),
+        "fig4": ("Fig. 4 — distributed vs centralized vs memory speed",
+                 _wrap(experiments.fig4_memory_speed)),
+        "fig5": ("Fig. 5 — platform instances with LMI + DDR",
+                 _wrap(experiments.fig5_lmi_platforms)),
+        "fig6": ("Fig. 6 — LMI bus-interface statistics",
+                 _wrap(experiments.fig6_lmi_statistics)),
+        "ablations": ("Section 6 — guideline ablations",
+                      _wrap(experiments.ablations)),
+        "arbitration": ("Extension — arbitration policy study",
+                        _wrap_arbitration()),
+        "segmentation": ("Extension — path segmentation (guideline 5)",
+                         _wrap_segmentation()),
+        "io_qos": ("Extension — display QoS under DMA contention "
+                   "(guideline 4)", _wrap_io_qos()),
+    }
+
+
+def cmd_list(_args) -> int:
+    rows = [[name, description] for name, (description, __)
+            in registry().items()]
+    print(format_table(["experiment", "reproduces"], rows))
+    return 0
+
+
+def cmd_run(args) -> int:
+    table = registry()
+    names = list(table) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in table]
+    if unknown:
+        print(f"unknown experiment(s): {unknown}; try 'list'",
+              file=sys.stderr)
+        return 2
+    status = 0
+    for name in names:
+        description, runner = table[name]
+        print(f"\n### {name}: {description}\n")
+        __, report, failures = runner(args.scale)
+        print(report)
+        if failures:
+            status = 1
+            print("\nFAILED shape claims:")
+            for failure in failures:
+                print(f"  - {failure}")
+        else:
+            print("\nall shape claims hold")
+    return status
+
+
+def cmd_platform(args) -> int:
+    from .core import Simulator
+    from .platforms import build_platform
+    from .platforms.loader import load_config
+
+    config = load_config(args.config)
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    result = platform.run(max_ps=args.max_us * 1_000_000)
+    print(f"platform:        {config.label()}")
+    print(f"execution time:  {result.execution_time_ps / 1_000_000:.3f} us")
+    print(f"transactions:    {result.transactions}")
+    print(f"bytes:           {result.bytes_transferred}")
+    print(f"throughput:      {result.throughput_bytes_per_ns:.3f} B/ns")
+    for key, value in sorted(result.extra.items()):
+        print(f"{key + ':':<17}{value:.2f}")
+    if args.csv:
+        from .analysis import results_to_csv
+
+        results_to_csv(args.csv, [result])
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Memory-centric MPSoC virtual platform (DATE 2007 "
+                    "reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments") \
+       .set_defaults(func=cmd_list)
+
+    run_parser = sub.add_parser("run", help="run an experiment (or 'all')")
+    run_parser.add_argument("experiment")
+    run_parser.add_argument("--scale", type=float, default=1.0,
+                            help="traffic scale factor (default 1.0)")
+    run_parser.set_defaults(func=cmd_run)
+
+    plat_parser = sub.add_parser("platform",
+                                 help="simulate a JSON platform config")
+    plat_parser.add_argument("config")
+    plat_parser.add_argument("--max-us", type=float, default=20_000.0,
+                             help="simulation bound in microseconds")
+    plat_parser.add_argument("--csv", help="write the result row to CSV")
+    plat_parser.set_defaults(func=cmd_platform)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,123 @@
+"""Clock domains.
+
+Industrial MPSoC platforms are heavily multi-clock: in the reference platform
+the ST220 runs at 400 MHz, the central STBus node at 250 MHz, peripheral
+clusters and the LMI memory controller at their own rates.  A :class:`Clock`
+converts between cycles and kernel picoseconds and hands out *edge events*.
+
+The one invariant every bus model relies on: :meth:`Clock.edge` resolves to
+the **next strictly future** rising edge.  A process woken at an edge that
+immediately yields ``clock.edge()`` therefore advances exactly one period —
+there is no way to observe the same edge twice.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from .events import Timeout, PRIORITY_NORMAL
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .kernel import Simulator
+
+#: Picoseconds per second, used to convert frequencies to integer periods.
+_PS_PER_S = 1_000_000_000_000
+
+
+class Clock:
+    """A periodic rising-edge source.
+
+    Parameters
+    ----------
+    freq_mhz:
+        Frequency in MHz.  Mutually exclusive with ``period_ps``.
+    period_ps:
+        Period in integer picoseconds.
+    phase_ps:
+        Offset of the first rising edge from time zero.
+    """
+
+    def __init__(self, sim: "Simulator", freq_mhz: Optional[float] = None,
+                 period_ps: Optional[int] = None, phase_ps: int = 0,
+                 name: str = "clk") -> None:
+        if (freq_mhz is None) == (period_ps is None):
+            raise ValueError("specify exactly one of freq_mhz / period_ps")
+        if period_ps is None:
+            period_ps = round(_PS_PER_S / (freq_mhz * 1_000_000))
+        if period_ps <= 0:
+            raise ValueError(f"non-positive clock period {period_ps}")
+        if phase_ps < 0:
+            raise ValueError(f"negative clock phase {phase_ps}")
+        self.sim = sim
+        self.name = name
+        self.period_ps = int(period_ps)
+        self.phase_ps = int(phase_ps)
+
+    # ------------------------------------------------------------------
+    @property
+    def freq_mhz(self) -> float:
+        """Nominal frequency in MHz (derived from the integer period)."""
+        return _PS_PER_S / self.period_ps / 1_000_000
+
+    def cycle_index(self, time_ps: Optional[int] = None) -> int:
+        """Number of rising edges at or before ``time_ps`` (default: now)."""
+        if time_ps is None:
+            time_ps = self.sim.now
+        if time_ps < self.phase_ps:
+            return 0
+        return (time_ps - self.phase_ps) // self.period_ps + 1
+
+    def next_edge_time(self, time_ps: Optional[int] = None) -> int:
+        """Absolute time of the next strictly-future rising edge."""
+        if time_ps is None:
+            time_ps = self.sim.now
+        if time_ps < self.phase_ps:
+            return self.phase_ps
+        since = (time_ps - self.phase_ps) % self.period_ps
+        return time_ps + (self.period_ps - since)
+
+    def at_edge(self, time_ps: Optional[int] = None) -> bool:
+        """True when ``time_ps`` (default now) falls exactly on a rising edge."""
+        if time_ps is None:
+            time_ps = self.sim.now
+        return time_ps >= self.phase_ps and (
+            (time_ps - self.phase_ps) % self.period_ps == 0)
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def edge(self, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Event firing at the next strictly-future rising edge."""
+        return Timeout(self.sim, self.next_edge_time() - self.sim.now,
+                       priority=priority, name=f"{self.name}.edge")
+
+    def edges(self, n: int, priority: int = PRIORITY_NORMAL) -> Timeout:
+        """Event firing ``n`` rising edges from now (``n`` >= 1)."""
+        if n < 1:
+            raise ValueError(f"edges() needs n >= 1, got {n}")
+        target = self.next_edge_time() + (n - 1) * self.period_ps
+        return Timeout(self.sim, target - self.sim.now,
+                       priority=priority, name=f"{self.name}.edges({n})")
+
+    def delay(self, cycles: int) -> Timeout:
+        """Event firing exactly ``cycles`` periods from *now* (not aligned).
+
+        Use :meth:`edges` for edge-aligned waits; this is for modelling
+        latencies quoted in cycles that start mid-cycle (e.g. combinational
+        paths crossing a node).
+        """
+        if cycles < 0:
+            raise ValueError(f"negative cycle delay {cycles}")
+        return Timeout(self.sim, cycles * self.period_ps,
+                       name=f"{self.name}.delay({cycles})")
+
+    def to_ps(self, cycles: int) -> int:
+        """Convert a cycle count to picoseconds."""
+        return cycles * self.period_ps
+
+    def to_cycles(self, duration_ps: int) -> float:
+        """Convert a picosecond duration to (possibly fractional) cycles."""
+        return duration_ps / self.period_ps
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Clock {self.name} {self.freq_mhz:.1f} MHz>"

@@ -1,0 +1,71 @@
+"""Base class for structural model components.
+
+A :class:`Component` is anything with a name, a simulator, optionally a clock
+domain, and zero or more processes: bus nodes, bridges, memories, traffic
+generators, CPU models.  The class only provides plumbing — hierarchy
+tracking, process registration with readable names, and a hook for the
+statistics system — so that model code stays focused on behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List, Optional
+
+from .events import Event, Process
+from .kernel import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .clock import Clock
+
+
+class Component:
+    """A named piece of the platform hierarchy."""
+
+    def __init__(self, sim: Simulator, name: str,
+                 clock: Optional["Clock"] = None,
+                 parent: Optional["Component"] = None) -> None:
+        self.sim = sim
+        self.name = name
+        self.clock = clock
+        self.parent = parent
+        self.children: List[Component] = []
+        self.processes: List[Process] = []
+        if parent is not None:
+            parent.children.append(self)
+
+    # ------------------------------------------------------------------
+    @property
+    def path(self) -> str:
+        """Hierarchical path, e.g. ``platform.n8.arbiter``."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def process(self, generator: Generator[Event, Any, Any],
+                name: str = "") -> Process:
+        """Register a process owned by this component."""
+        label = f"{self.path}.{name}" if name else self.path
+        proc = self.sim.process(generator, name=label)
+        self.processes.append(proc)
+        return proc
+
+    def iter_tree(self):
+        """Yield this component and all descendants, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    def find(self, path: str) -> "Component":
+        """Look up a descendant by dotted relative path."""
+        node: Component = self
+        for part in path.split("."):
+            for child in node.children:
+                if child.name == part:
+                    node = child
+                    break
+            else:
+                raise KeyError(f"no component {part!r} under {node.path!r}")
+        return node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.path}>"

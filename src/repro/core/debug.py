@@ -1,0 +1,71 @@
+"""Stall diagnosis for stuck simulations.
+
+When a platform fails to drain (a transaction never completes and the
+event queue runs dry), the symptom is silent.  :func:`diagnose` walks a
+component tree and reports, per component, every live process and the
+event it is blocked on, plus the fill state of every FIFO reachable from
+the component's attributes — usually enough to spot the wedged handshake
+immediately (it is how the message-lock and lost-wakeup deadlocks in this
+code base were found).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .component import Component
+from .fifo import Fifo
+
+
+def _fifos_of(obj) -> List[Fifo]:
+    """FIFOs directly reachable from ``obj``'s attributes."""
+    found = []
+    for value in vars(obj).values():
+        if isinstance(value, Fifo):
+            found.append(value)
+    return found
+
+
+def diagnose(root: Component) -> str:
+    """A human-readable stall report for ``root``'s component tree."""
+    lines = [f"stall diagnosis of {root.path!r} at t={root.sim.now} ps",
+             f"event queue: {'empty' if root.sim.peek() is None else 'non-empty'}"]
+    for component in root.iter_tree():
+        entries = []
+        for proc in component.processes:
+            if not proc.is_alive:
+                continue
+            target = proc._target
+            where = repr(target) if target is not None else "(running)"
+            entries.append(f"    process {proc.name}: waiting on {where}")
+        for fifo in _fifos_of(component):
+            state = "empty" if fifo.is_empty else (
+                "FULL" if fifo.is_full else f"{fifo.level}/{fifo.capacity}")
+            waiters = ""
+            if fifo._put_waiters:
+                waiters += f" [{len(fifo._put_waiters)} blocked put(s)]"
+            if fifo._get_waiters:
+                waiters += f" [{len(fifo._get_waiters)} blocked get(s)]"
+            entries.append(f"    fifo {fifo.name}: {state}{waiters}")
+        if entries:
+            lines.append(f"  {component.path}:")
+            lines.extend(entries)
+    return "\n".join(lines)
+
+
+def incomplete_transactions(transactions) -> List:
+    """Filter a transaction population down to the never-completed ones."""
+    return [txn for txn in transactions if txn.t_done is None]
+
+
+def stall_summary(root: Component, transactions) -> str:
+    """Diagnosis plus the stuck-transaction list (the usual entry point)."""
+    stuck = incomplete_transactions(transactions)
+    lines = [f"{len(stuck)} transaction(s) never completed"]
+    for txn in stuck[:10]:
+        lines.append(f"  {txn!r} issued={txn.t_issued} "
+                     f"granted={txn.t_granted} accepted={txn.t_accepted}")
+    if len(stuck) > 10:
+        lines.append(f"  ... and {len(stuck) - 10} more")
+    lines.append(diagnose(root))
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""FIFO queues — the universal buffering primitive of the platform model.
+
+Every buffering resource the paper talks about is one of these: the prefetch
+FIFOs at STBus target interfaces, the request/response queues inside bridges
+(the "asynchronous FIFOs" of Fig. 2), and the input/output FIFOs of the LMI
+memory controller whose occupancy Fig. 6 dissects.
+
+Two flavours:
+
+:class:`Fifo`
+    Zero-latency bounded queue with blocking ``put``/``get`` events.  All
+    *timing* is imposed by the surrounding processes (which pace themselves
+    with clock edges); the FIFO only models capacity and ordering.
+
+:class:`CdcFifo`
+    A clock-domain-crossing FIFO: items become visible to the reader only
+    ``latency_ps`` after they were written, modelling synchroniser delay in
+    bridges between clock domains.
+
+Both emit level-change notifications so the statistics system can integrate
+occupancy over time without per-cycle sampling.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Generic, List, Optional, Tuple, TypeVar
+
+from .events import Event
+from .kernel import Simulator
+
+T = TypeVar("T")
+
+#: Signature of a level watcher: ``fn(time_ps, old_level, new_level)``.
+LevelWatcher = Callable[[int, int, int], None]
+
+
+class Fifo(Generic[T]):
+    """Bounded FIFO with blocking, event-based access.
+
+    ``put(item)`` returns an event that triggers once the item has been
+    accepted; ``get()`` returns an event that triggers with the item.  Both
+    complete immediately (at the current simulation time) when possible.
+    Waiters are served strictly in arrival order, so the queue discipline is
+    fair and deterministic.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, name: str = "fifo") -> None:
+        if capacity < 1:
+            raise ValueError(f"FIFO capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.name = name
+        self.capacity = capacity
+        self._items: Deque[T] = deque()
+        self._put_waiters: Deque[Tuple[Event, T]] = deque()
+        self._get_waiters: Deque[Event] = deque()
+        self._watchers: List[LevelWatcher] = []
+        # Occupancy accounting (time-weighted) -------------------------
+        self._last_change_ps = sim.now
+        self._level_time: dict = {}
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self.capacity
+
+    @property
+    def free(self) -> int:
+        """Number of free slots."""
+        return self.capacity - len(self._items)
+
+    def peek(self) -> T:
+        """The item ``get`` would return next (FIFO is not modified)."""
+        if not self._items:
+            raise LookupError(f"peek() on empty FIFO {self.name!r}")
+        return self._items[0]
+
+    def snapshot(self) -> Tuple[T, ...]:
+        """A copy of the stored items, head first.
+
+        The LMI optimisation engine uses this for *lookahead* over queued
+        transactions without consuming them.
+        """
+        return tuple(self._items)
+
+    # ------------------------------------------------------------------
+    # blocking access
+    # ------------------------------------------------------------------
+    def put(self, item: T) -> Event:
+        """Event completing once ``item`` is stored."""
+        event = Event(self.sim, name=f"{self.name}.put")
+        if not self.is_full and not self._put_waiters:
+            self._store(item)
+            event.succeed()
+        else:
+            self._put_waiters.append((event, item))
+        return event
+
+    def get(self) -> Event:
+        """Event completing with the next item."""
+        event = Event(self.sim, name=f"{self.name}.get")
+        if self._items:
+            event.succeed(self._take())
+        else:
+            self._get_waiters.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # non-blocking access
+    # ------------------------------------------------------------------
+    def try_put(self, item: T) -> bool:
+        """Store ``item`` if space is available right now; report success."""
+        if self.is_full or self._put_waiters:
+            return False
+        self._store(item)
+        return True
+
+    def try_get(self) -> Optional[T]:
+        """Take the next item if one is available right now, else ``None``."""
+        if not self._items:
+            return None
+        return self._take()
+
+    def remove(self, item: T) -> None:
+        """Remove a specific stored item (out-of-order extraction).
+
+        The LMI optimisation engine pulls row-hit transactions out of the
+        middle of its input FIFO; STBus Type-3 targets may likewise retire
+        shaped packets out of order.
+        """
+        before = len(self._items)
+        self._items.remove(item)  # raises ValueError when absent
+        self._level_changed(before)
+        self._admit_waiting_puts()
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def watch(self, fn: LevelWatcher) -> None:
+        """Call ``fn(time_ps, old_level, new_level)`` on every level change."""
+        self._watchers.append(fn)
+
+    def occupancy_histogram(self, until_ps: Optional[int] = None) -> dict:
+        """Time spent (ps) at each occupancy level, including the open
+        interval up to ``until_ps`` (default: now)."""
+        if until_ps is None:
+            until_ps = self.sim.now
+        hist = dict(self._level_time)
+        open_span = until_ps - self._last_change_ps
+        if open_span > 0:
+            hist[self.level] = hist.get(self.level, 0) + open_span
+        return hist
+
+    def mean_occupancy(self, until_ps: Optional[int] = None) -> float:
+        """Time-weighted mean number of stored items."""
+        hist = self.occupancy_histogram(until_ps)
+        total = sum(hist.values())
+        if total == 0:
+            return float(self.level)
+        return sum(level * span for level, span in hist.items()) / total
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _store(self, item: T) -> None:
+        before = len(self._items)
+        self._items.append(item)
+        self._level_changed(before)
+        self._serve_waiting_gets()
+
+    def _take(self) -> T:
+        before = len(self._items)
+        item = self._items.popleft()
+        self._level_changed(before)
+        self._admit_waiting_puts()
+        return item
+
+    def _serve_waiting_gets(self) -> None:
+        while self._get_waiters and self._items:
+            waiter = self._get_waiters.popleft()
+            waiter.succeed(self._take())
+
+    def _admit_waiting_puts(self) -> None:
+        while self._put_waiters and not self.is_full:
+            event, item = self._put_waiters.popleft()
+            self._store(item)
+            event.succeed()
+
+    def _level_changed(self, old_level: int) -> None:
+        now = self.sim.now
+        span = now - self._last_change_ps
+        if span > 0:
+            self._level_time[old_level] = self._level_time.get(old_level, 0) + span
+        self._last_change_ps = now
+        new_level = len(self._items)
+        for fn in self._watchers:
+            fn(now, old_level, new_level)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Fifo {self.name} {self.level}/{self.capacity}>"
+
+
+class CdcFifo(Fifo[T]):
+    """FIFO whose items only become readable ``latency_ps`` after writing.
+
+    Models the synchroniser latency of the asynchronous FIFOs inside bridges
+    (Fig. 2 of the paper).  Capacity is still enforced at write time, exactly
+    like a real dual-clock FIFO whose write pointer advances immediately.
+    """
+
+    def __init__(self, sim: Simulator, capacity: int, latency_ps: int,
+                 name: str = "cdc_fifo") -> None:
+        super().__init__(sim, capacity, name=name)
+        if latency_ps < 0:
+            raise ValueError(f"negative CDC latency {latency_ps}")
+        self.latency_ps = latency_ps
+        #: Items written but not yet visible, as (ready_time, item).
+        self._in_flight: Deque[Tuple[int, T]] = deque()
+
+    def put(self, item: T) -> Event:
+        event = Event(self.sim, name=f"{self.name}.put")
+        if self._total_level() < self.capacity and not self._put_waiters:
+            self._launch(item)
+            event.succeed()
+        else:
+            self._put_waiters.append((event, item))
+        return event
+
+    def try_put(self, item: T) -> bool:
+        if self._total_level() >= self.capacity or self._put_waiters:
+            return False
+        self._launch(item)
+        return True
+
+    @property
+    def is_full(self) -> bool:
+        return self._total_level() >= self.capacity
+
+    def _total_level(self) -> int:
+        return len(self._items) + len(self._in_flight)
+
+    def _launch(self, item: T) -> None:
+        if self.latency_ps == 0:
+            self._store(item)
+            return
+        ready = self.sim.now + self.latency_ps
+        self._in_flight.append((ready, item))
+        self.sim.timeout(self.latency_ps).add_callback(self._land)
+
+    def _land(self, _event: Event) -> None:
+        now = self.sim.now
+        while self._in_flight and self._in_flight[0][0] <= now:
+            __, item = self._in_flight.popleft()
+            self._store(item)
+
+    def _admit_waiting_puts(self) -> None:
+        while self._put_waiters and self._total_level() < self.capacity:
+            event, item = self._put_waiters.popleft()
+            self._launch(item)
+            event.succeed()

@@ -1,0 +1,145 @@
+"""Synchronisation primitives built on events.
+
+:class:`Semaphore` implements the credit-based flow control used throughout
+the platform: initiator ports limit their *outstanding transactions* with it,
+bridges limit in-flight forwarded requests, and IPTG agents use it for
+inter-agent synchronisation points.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+from .events import Event
+from .kernel import Simulator
+
+
+class Semaphore:
+    """A counting semaphore with FIFO-fair, event-based acquisition.
+
+    By default the semaphore is a bounded *credit pool*: releasing more
+    tokens than were initially present raises (catching double-release
+    bugs in bus-interface credit logic).  Pass ``bounded=False`` for a
+    plain counting semaphore (producer/consumer token streams), where
+    releases may outnumber the initial tokens.
+    """
+
+    def __init__(self, sim: Simulator, tokens: int, name: str = "sem",
+                 bounded: bool = True) -> None:
+        if tokens < 0:
+            raise ValueError(f"semaphore cannot start negative: {tokens}")
+        self.sim = sim
+        self.name = name
+        self.bounded = bounded
+        self._tokens = tokens
+        self._capacity = tokens
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def available(self) -> int:
+        """Tokens currently free."""
+        return self._tokens
+
+    @property
+    def in_use(self) -> int:
+        """Tokens currently held (bounded semaphores only)."""
+        return self._capacity - self._tokens
+
+    def acquire(self) -> Event:
+        """Event completing once a token has been granted."""
+        event = Event(self.sim, name=f"{self.name}.acquire")
+        if self._tokens > 0 and not self._waiters:
+            self._tokens -= 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def try_acquire(self) -> bool:
+        """Take a token if one is free right now."""
+        if self._tokens > 0 and not self._waiters:
+            self._tokens -= 1
+            return True
+        return False
+
+    def release(self) -> None:
+        """Return a token, handing it straight to the oldest waiter if any."""
+        if self._waiters:
+            self._waiters.popleft().succeed()
+        else:
+            if self.bounded and self._tokens >= self._capacity:
+                raise RuntimeError(
+                    f"semaphore {self.name!r} released more than acquired")
+            self._tokens += 1
+
+
+class WorkSignal:
+    """Lost-wakeup-proof work notification.
+
+    The naive pattern — trigger an event on ``notify()``, re-arm it in
+    ``wait()`` — drops notifications that arrive while the event is
+    triggered but every consumer is busy: the consumers then re-arm and
+    sleep although work is queued.  ``WorkSignal`` keeps a *dirty* flag that
+    survives the re-arm, so a ``wait()`` after a missed ``notify()`` returns
+    an already-triggered event and the consumer re-checks immediately.
+
+    Consumers must scan for work after every wake-up (spurious wake-ups are
+    possible by design; missed work is not).
+    """
+
+    def __init__(self, sim: Simulator, name: str = "work") -> None:
+        self.sim = sim
+        self.name = name
+        self._event = Event(sim, name=name)
+        self._dirty = False
+
+    def notify(self) -> None:
+        """Signal that work may be available."""
+        self._dirty = True
+        if not self._event.triggered:
+            self._event.succeed()
+
+    def wait(self) -> Event:
+        """Event that fires when work may be available (possibly now)."""
+        if self._event.processed:
+            self._event = Event(self.sim, name=self.name)
+            if self._dirty:
+                self._event.succeed()
+        self._dirty = False
+        return self._event
+
+
+class Barrier:
+    """N-party synchronisation point.
+
+    IPTG multi-agent configurations use barriers to model inter-agent
+    dependencies ("inter-agent synchronization points can be set to emulate
+    dependencies between them").  All parties block in :meth:`wait` until the
+    last one arrives, then everyone is released and the barrier re-arms.
+    """
+
+    def __init__(self, sim: Simulator, parties: int, name: str = "barrier") -> None:
+        if parties < 1:
+            raise ValueError(f"barrier needs >= 1 party, got {parties}")
+        self.sim = sim
+        self.name = name
+        self.parties = parties
+        self._waiting: Deque[Event] = deque()
+        self.generations = 0
+
+    @property
+    def waiting(self) -> int:
+        """Parties currently blocked."""
+        return len(self._waiting)
+
+    def wait(self) -> Event:
+        """Event completing when all parties have arrived."""
+        event = Event(self.sim, name=f"{self.name}.wait")
+        self._waiting.append(event)
+        if len(self._waiting) >= self.parties:
+            self.generations += 1
+            released, self._waiting = self._waiting, deque()
+            for waiter in released:
+                waiter.succeed(self.generations)
+        return event

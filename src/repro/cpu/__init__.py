@@ -1,0 +1,14 @@
+"""CPU models: the ST220 VLIW DSP, its caches and synthetic benchmarks."""
+
+from .benchmark import BenchmarkConfig, InstructionBlock, SyntheticBenchmark
+from .cache import Cache, CacheAccess
+from .st220 import St220Core
+
+__all__ = [
+    "BenchmarkConfig",
+    "Cache",
+    "CacheAccess",
+    "InstructionBlock",
+    "St220Core",
+    "SyntheticBenchmark",
+]

@@ -1,0 +1,104 @@
+"""Synthetic benchmark generator for the ST220 model.
+
+"The DSP core was then modelled at the level of its instruction set, and
+runs a synthetic benchmark tuned to generate a significant amount of cache
+misses interfering with the traffic patterns of the other cores."
+(Section 3)
+
+A benchmark is a reproducible stream of *instruction blocks*; each block is
+``compute_cycles`` of core-private work followed by an optional memory
+operation.  The working-set size relative to the cache size is the miss-rate
+tuning knob.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+
+@dataclass(frozen=True)
+class InstructionBlock:
+    """A straight-line run of instructions ending in (at most) one memory op."""
+
+    compute_cycles: int
+    is_memory_op: bool
+    is_load: bool
+    data_address: int
+    #: Instruction-fetch address of the block (drives the I-cache).
+    fetch_address: int
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """Tuning knobs of the synthetic workload."""
+
+    blocks: int = 2000
+    #: Mean non-memory cycles per block (VLIW issue keeps this small).
+    compute_cycles: int = 4
+    #: Fraction of blocks performing a memory operation.
+    memory_fraction: float = 0.6
+    #: Of the memory operations, fraction that are loads.
+    load_fraction: float = 0.7
+    #: Data working set in bytes; >> cache size forces capacity misses.
+    working_set: int = 1 << 16
+    #: Code footprint in bytes (drives I-cache behaviour).
+    code_size: int = 1 << 14
+    #: Probability a block jumps to a random code address (kills I-locality).
+    jump_probability: float = 0.1
+    #: Probability a data access is a re-reference of a recent address.
+    data_locality: float = 0.5
+    data_base: int = 0x4000_0000
+    code_base: int = 0x0800_0000
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.blocks < 1:
+            raise ValueError("blocks must be >= 1")
+        for name in ("memory_fraction", "load_fraction", "jump_probability",
+                     "data_locality"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} out of [0, 1]: {value}")
+        if self.working_set < 64 or self.code_size < 64:
+            raise ValueError("working_set and code_size must be >= 64 bytes")
+
+
+class SyntheticBenchmark:
+    """Deterministic instruction-block stream for the ST220 model."""
+
+    def __init__(self, config: Optional[BenchmarkConfig] = None) -> None:
+        self.config = config or BenchmarkConfig()
+
+    def __iter__(self) -> Iterator[InstructionBlock]:
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        fetch = cfg.code_base
+        recent = [cfg.data_base]
+        for _block in range(cfg.blocks):
+            if rng.random() < cfg.jump_probability:
+                fetch = cfg.code_base + rng.randrange(cfg.code_size // 64) * 64
+            else:
+                fetch = cfg.code_base + (fetch - cfg.code_base + 64) % cfg.code_size
+            is_mem = rng.random() < cfg.memory_fraction
+            is_load = rng.random() < cfg.load_fraction
+            if rng.random() < cfg.data_locality and recent:
+                address = rng.choice(recent)
+            else:
+                address = cfg.data_base + rng.randrange(cfg.working_set // 4) * 4
+                recent.append(address)
+                if len(recent) > 16:
+                    recent.pop(0)
+            compute = max(1, round(rng.gauss(cfg.compute_cycles,
+                                             cfg.compute_cycles / 3)))
+            yield InstructionBlock(
+                compute_cycles=compute,
+                is_memory_op=is_mem,
+                is_load=is_load,
+                data_address=address,
+                fetch_address=fetch,
+            )
+
+    def __len__(self) -> int:
+        return self.config.blocks

@@ -1,0 +1,103 @@
+"""ST220 VLIW DSP core model.
+
+"The ST220 VLIW DSP core (400 MHz, 32 bit, data and instruction caches) acts
+as the general purpose processor" (Section 3).  The core is modelled at
+instruction-set granularity: a :class:`~repro.cpu.benchmark.SyntheticBenchmark`
+stream drives the I- and D-caches, and every miss becomes a bus transaction
+(line refill read, plus a posted write-back when a dirty victim is evicted).
+The core stalls for the full refill latency — it is the in-order,
+blocking-cache client whose misses "interfere with the traffic patterns of
+the other cores".
+
+In the reference platform the core sits behind a 32->64-bit, 400->250 MHz
+upsize GenConv; the platform builder wires that up — the core itself only
+knows its own 32-bit, 400 MHz interface.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.component import Component
+from ..core.events import Event
+from ..core.kernel import Simulator
+from ..core.statistics import Counter, LatencySummary
+from ..interconnect.base import InitiatorPort
+from ..interconnect.types import Opcode, Transaction
+from .benchmark import SyntheticBenchmark
+from .cache import Cache
+
+
+class St220Core(Component):
+    """In-order VLIW core with split I/D caches and a blocking miss path."""
+
+    def __init__(self, sim: Simulator, name: str, port: InitiatorPort,
+                 benchmark: SyntheticBenchmark,
+                 icache: Optional[Cache] = None,
+                 dcache: Optional[Cache] = None,
+                 parent: Optional[Component] = None) -> None:
+        super().__init__(sim, name, clock=port.fabric.clock, parent=parent)
+        self.port = port
+        self.benchmark = benchmark
+        self.icache = icache or Cache(f"{name}.icache", size_bytes=8192,
+                                      line_bytes=64, ways=2)
+        self.dcache = dcache or Cache(f"{name}.dcache", size_bytes=8192,
+                                      line_bytes=32, ways=4)
+        self.blocks_retired = Counter(f"{name}.blocks")
+        self.stall_cycles = Counter(f"{name}.stalls")
+        self.miss_latency = LatencySummary(f"{name}.miss_latency")
+        self.done: Event = sim.event(name=f"{name}.done")
+        self.process(self._run(), name="core")
+
+    # ------------------------------------------------------------------
+    def _run(self):
+        clk = self.clock
+        for block in self.benchmark:
+            # Instruction fetch.
+            fetch = self.icache.access(block.fetch_address, is_write=False)
+            if not fetch.hit:
+                yield from self._refill(fetch.refill_address,
+                                        self.icache.line_bytes, None)
+            # Core-private computation.
+            yield clk.edges(block.compute_cycles)
+            # Data access.
+            if block.is_memory_op:
+                result = self.dcache.access(block.data_address,
+                                            is_write=not block.is_load)
+                if not result.hit:
+                    yield from self._refill(result.refill_address,
+                                            self.dcache.line_bytes,
+                                            result.writeback_address)
+            self.blocks_retired.add()
+        self.done.succeed(self.blocks_retired.value)
+
+    def _refill(self, refill_address: int, line_bytes: int,
+                writeback_address: Optional[int]):
+        """Service a miss: optional posted write-back, then a blocking
+        line-refill read."""
+        clk = self.clock
+        if writeback_address is not None:
+            victim = Transaction(initiator=self.name, opcode=Opcode.WRITE,
+                                 address=writeback_address,
+                                 beats=line_bytes // 4, beat_bytes=4,
+                                 posted=True)
+            yield self.port.issue(victim)
+        refill = Transaction(initiator=self.name, opcode=Opcode.READ,
+                             address=refill_address,
+                             beats=line_bytes // 4, beat_bytes=4)
+        start = self.sim.now
+        yield self.port.issue(refill)
+        if not refill.ev_done.triggered:
+            yield refill.ev_done
+        stalled = self.sim.now - start
+        self.stall_cycles.add(int(clk.to_cycles(stalled)))
+        self.miss_latency.add(stalled)
+
+    # ------------------------------------------------------------------
+    @property
+    def cpi_estimate(self) -> float:
+        """Rough cycles-per-block including stalls (for reports)."""
+        if self.blocks_retired.value == 0:
+            return 0.0
+        elapsed_cycles = self.clock.to_cycles(self.sim.now)
+        return elapsed_cycles / self.blocks_retired.value

@@ -1,0 +1,6 @@
+"""Functional I/O device models: DMA engine, display controller."""
+
+from .display import DisplayController
+from .dma import DmaChannel, DmaDescriptor, DmaEngine
+
+__all__ = ["DisplayController", "DmaChannel", "DmaDescriptor", "DmaEngine"]

@@ -1,0 +1,61 @@
+"""Shared experiment infrastructure.
+
+Every experiment module exposes
+
+``run(...) -> dict``
+    Execute the simulations and return structured results (figures-as-data).
+``report(results) -> str``
+    Render the paper-style rows/series as text.
+``check(results) -> list[str]``
+    Verify the *shape* claims of the paper against the results; returns a
+    list of failed-claim descriptions (empty = all claims hold).
+
+The benchmark harness calls ``run`` under pytest-benchmark and asserts
+``check`` comes back clean.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..analysis.metrics import RunResult
+from ..core.kernel import Simulator
+from ..platforms.config import PlatformConfig
+from ..platforms.reference import PlatformInstance, build_platform
+
+#: Default wall-clock guard for platform runs (simulated picoseconds).
+DEFAULT_MAX_PS = 20_000_000_000_000
+
+
+def run_config(config: PlatformConfig,
+               max_ps: int = DEFAULT_MAX_PS) -> RunResult:
+    """Elaborate and run one platform configuration on a fresh simulator."""
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    return platform.run(max_ps=max_ps)
+
+
+def run_config_with_platform(config: PlatformConfig,
+                             max_ps: int = DEFAULT_MAX_PS):
+    """Like :func:`run_config` but also returns the platform for inspection."""
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    result = platform.run(max_ps=max_ps)
+    return result, platform
+
+
+def normalized(results: Dict[str, RunResult],
+               baseline: Optional[str] = None) -> Dict[str, float]:
+    """Execution times normalised to ``baseline`` (default: first key)."""
+    if not results:
+        return {}
+    if baseline is None:
+        baseline = next(iter(results))
+    base = results[baseline].execution_time_ps
+    return {label: r.execution_time_ps / base for label, r in results.items()}
+
+
+def claim(failures: list, condition: bool, description: str) -> None:
+    """Record a shape-claim failure."""
+    if not condition:
+        failures.append(description)

@@ -1,0 +1,53 @@
+"""Interconnect fabric models: STBus, AMBA AHB, AMBA AXI, and arbitration."""
+
+from .arbiter import (
+    Arbiter,
+    FixedPriority,
+    LeastRecentlyGranted,
+    MessageArbiter,
+    MessageLockStall,
+    RoundRobin,
+    WeightedLottery,
+    make_arbiter,
+)
+from .ahb import AhbLayer
+from .axi import AxiFabric
+from .base import Fabric, FabricError, InitiatorPort, TargetPort
+from .crossbar import StbusCrossbar
+from .stbus import StbusNode, StbusTargetInterface
+from .types import (
+    AddressRange,
+    Opcode,
+    ProtocolKind,
+    ResponseBeat,
+    StbusType,
+    Transaction,
+    make_message,
+)
+
+__all__ = [
+    "AddressRange",
+    "AhbLayer",
+    "Arbiter",
+    "AxiFabric",
+    "Fabric",
+    "FabricError",
+    "FixedPriority",
+    "InitiatorPort",
+    "LeastRecentlyGranted",
+    "MessageArbiter",
+    "MessageLockStall",
+    "Opcode",
+    "ProtocolKind",
+    "ResponseBeat",
+    "RoundRobin",
+    "StbusCrossbar",
+    "StbusNode",
+    "StbusTargetInterface",
+    "StbusType",
+    "TargetPort",
+    "Transaction",
+    "WeightedLottery",
+    "make_arbiter",
+    "make_message",
+]

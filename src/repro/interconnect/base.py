@@ -1,0 +1,315 @@
+"""Common machinery for interconnect fabric models.
+
+A *fabric* (an STBus node, an AHB layer, an AXI interconnect) connects
+initiator ports to target ports:
+
+* :class:`InitiatorPort` — where IPTGs, CPUs and bridge initiator sides
+  inject :class:`~repro.interconnect.types.Transaction` objects.  It enforces
+  the *maximum outstanding transactions* of the bus interface with a credit
+  semaphore — the paper's guideline 3(i) hinges on this parameter.
+* :class:`TargetPort` — where memories and bridge target sides attach.  It
+  owns the request FIFO (the "buffering implemented at its bus interface",
+  guideline 2) and the response/prefetch FIFO whose depth lets STBus mask
+  target wait states (Section 3.1).
+
+The base class provides address decoding, work-notification plumbing (so
+fabric processes sleep when idle instead of polling), channel-occupancy
+bookkeeping and width conversion helpers.  Timing behaviour lives entirely in
+the protocol subclasses.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.clock import Clock
+from ..core.component import Component
+from ..core.events import Event
+from ..core.fifo import Fifo
+from ..core.kernel import Simulator
+from ..core.statistics import ChannelUtilization, Counter, LatencySummary
+from ..core.sync import Semaphore, WorkSignal
+from .arbiter import Arbiter, RoundRobin
+from .types import AddressRange, ResponseBeat, Transaction
+
+
+class FabricError(RuntimeError):
+    """Raised on wiring/routing mistakes (overlapping ranges, no route...)."""
+
+
+class InitiatorPort:
+    """An initiator's attachment point to a fabric."""
+
+    def __init__(self, fabric: "Fabric", name: str, max_outstanding: int = 1,
+                 queue_depth: Optional[int] = None) -> None:
+        if max_outstanding < 1:
+            raise ValueError(f"max_outstanding must be >= 1, got {max_outstanding}")
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.name = name
+        self.max_outstanding = max_outstanding
+        depth = queue_depth if queue_depth is not None else max_outstanding
+        #: Transactions granted a credit, waiting for the request channel.
+        self.pending: Fifo[Transaction] = Fifo(self.sim, depth,
+                                               name=f"{name}.pending")
+        self.credits = Semaphore(self.sim, max_outstanding, name=f"{name}.credits")
+        self.issued = Counter(f"{name}.issued")
+        self.completed = Counter(f"{name}.completed")
+        self.latency = LatencySummary(f"{name}.latency")
+
+    # ------------------------------------------------------------------
+    def issue(self, txn: Transaction) -> Event:
+        """Inject ``txn``; the returned event completes once the transaction
+        is queued for arbitration (i.e. the interface accepted it).
+
+        ``txn.ev_done`` completes when the whole transaction does.  Posted
+        writes complete at target acceptance, so a posted-write-heavy
+        initiator recycles credits quickly — exactly the behaviour that lets
+        multiple-outstanding interfaces "keep pushing transactions into the
+        bus" (Section 4.2).
+        """
+        txn.bind(self.sim)
+        txn.t_issued = self.sim.now
+        accepted = Event(self.sim, name=f"{self.name}.issue")
+        self.sim.process(self._issue_flow(txn, accepted),
+                         name=f"{self.name}.issue{txn.tid}")
+        return accepted
+
+    def _issue_flow(self, txn: Transaction, accepted: Event):
+        yield self.credits.acquire()
+        txn.ev_done.add_callback(self._on_done)
+        yield self.pending.put(txn)
+        self.issued.add()
+        self.fabric._notify_request()
+        accepted.succeed(txn)
+
+    def _on_done(self, event: Event) -> None:
+        txn: Transaction = event.value
+        self.completed.add()
+        if txn.latency_ps is not None:
+            self.latency.add(txn.latency_ps)
+        self.credits.release()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<InitiatorPort {self.name} on {self.fabric.name}>"
+
+
+class TargetPort:
+    """A target's attachment point to a fabric.
+
+    The attached device (memory model, memory controller, bridge target
+    side) *pulls* transactions from :attr:`request_fifo` at its own pace and
+    *pushes* :class:`ResponseBeat` items into :attr:`response_fifo` as data
+    becomes available.  FIFO depths are the tunable buffering parameters the
+    paper sweeps.
+    """
+
+    def __init__(self, fabric: "Fabric", name: str, address_range: AddressRange,
+                 request_depth: int = 1, response_depth: int = 2) -> None:
+        self.fabric = fabric
+        self.sim = fabric.sim
+        self.name = name
+        self.address_range = address_range
+        self.request_fifo: Fifo[Transaction] = Fifo(
+            self.sim, request_depth, name=f"{name}.req")
+        self.response_fifo: Fifo[ResponseBeat] = Fifo(
+            self.sim, response_depth, name=f"{name}.resp")
+        self.accepted = Counter(f"{name}.accepted")
+        #: Optional observers of request-channel activity towards this port
+        #: (used by the Fig. 6 interface monitor).
+        self.request_observers: List[Callable[[str], None]] = []
+        # Wake the fabric's response channel whenever data appears.
+        self.response_fifo.watch(self._on_response_level)
+
+    # -- device-side API -------------------------------------------------
+    def get_request(self) -> Event:
+        """Device side: event completing with the next transaction."""
+        return self.request_fifo.get()
+
+    def put_beat(self, beat: ResponseBeat) -> Event:
+        """Device side: enqueue one response beat (blocking on FIFO space)."""
+        return self.response_fifo.put(beat)
+
+    # -- fabric-side plumbing ---------------------------------------------
+    def _on_response_level(self, _time: int, old: int, new: int) -> None:
+        if new > old:
+            self.fabric._notify_response()
+
+    def notify_request_state(self, state: str) -> None:
+        """Forward request-channel activity to any attached monitors."""
+        for observer in self.request_observers:
+            observer(state)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<TargetPort {self.name} {self.address_range}>"
+
+
+class Fabric(Component):
+    """Shared base of the three protocol models.
+
+    Parameters
+    ----------
+    data_width_bytes:
+        Width of the fabric data path; beats wider than this cost multiple
+        bus cycles (the GenConv bridges exist exactly to convert widths).
+    arbiter:
+        Request-channel arbitration policy (default: round robin).
+    """
+
+    #: Protocol label, overridden by subclasses ("stbus", "ahb", "axi").
+    protocol = "fabric"
+
+    def __init__(self, sim: Simulator, name: str, clock: Clock,
+                 data_width_bytes: int = 4,
+                 arbiter: Optional[Arbiter] = None,
+                 parent: Optional[Component] = None) -> None:
+        super().__init__(sim, name, clock=clock, parent=parent)
+        if data_width_bytes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"unsupported data width {data_width_bytes} bytes")
+        self.data_width_bytes = data_width_bytes
+        self.arbiter = arbiter if arbiter is not None else RoundRobin()
+        self.initiators: List[InitiatorPort] = []
+        self.targets: List[TargetPort] = []
+        self._request_work = WorkSignal(sim, name=f"{name}.req_work")
+        self._response_work = WorkSignal(sim, name=f"{name}.resp_work")
+        #: Channel occupancy accounting, keyed by channel name.
+        self.channels: Dict[str, ChannelUtilization] = {}
+        self.decode_errors = Counter(f"{name}.decode_errors")
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def connect_initiator(self, name: str, max_outstanding: int = 1,
+                          queue_depth: Optional[int] = None) -> InitiatorPort:
+        port = InitiatorPort(self, name, max_outstanding=max_outstanding,
+                             queue_depth=queue_depth)
+        self.initiators.append(port)
+        return port
+
+    def add_target(self, name: str, address_range: AddressRange,
+                   request_depth: int = 1, response_depth: int = 2) -> TargetPort:
+        for existing in self.targets:
+            if existing.address_range.overlaps(address_range):
+                raise FabricError(
+                    f"{name} range {address_range} overlaps {existing.name} "
+                    f"range {existing.address_range}")
+        port = TargetPort(self, name, address_range,
+                          request_depth=request_depth,
+                          response_depth=response_depth)
+        self.targets.append(port)
+        return port
+
+    #: What to do with an address no target decodes: "raise" is a wiring
+    #: error (strict default); "respond" returns a bus error to the
+    #: initiator, like a real interconnect's default-slave.
+    decode_error_policy = "raise"
+
+    def route(self, address: int) -> TargetPort:
+        """Decode ``address`` to the owning target port."""
+        target = self.try_route(address)
+        if target is None:
+            raise FabricError(f"{self.name}: no target decodes {address:#x}")
+        return target
+
+    def try_route(self, address: int) -> Optional[TargetPort]:
+        """Decode ``address``; ``None`` when nothing claims it."""
+        for target in self.targets:
+            if target.address_range.contains(address):
+                return target
+        return None
+
+    def decode_failed(self, txn: Transaction) -> None:
+        """Handle an unmapped address per :attr:`decode_error_policy`."""
+        if self.decode_error_policy == "respond":
+            self.decode_errors.add()
+            txn.mark_accepted(self.sim.now)
+            txn.complete_with_error(self.sim.now)
+        else:
+            raise FabricError(
+                f"{self.name}: no target decodes {txn.address:#x} "
+                f"({txn!r})")
+
+    def channel(self, name: str) -> ChannelUtilization:
+        """Lazily created busy-time monitor for a named channel."""
+        if name not in self.channels:
+            self.channels[name] = ChannelUtilization(self.sim, name=f"{self.name}.{name}")
+        return self.channels[name]
+
+    # ------------------------------------------------------------------
+    # work notification (processes sleep while idle)
+    # ------------------------------------------------------------------
+    def _notify_request(self) -> None:
+        self._request_work.notify()
+
+    def _notify_response(self) -> None:
+        self._response_work.notify()
+
+    def _wait_request_work(self) -> Event:
+        return self._request_work.wait()
+
+    def _wait_response_work(self) -> Event:
+        return self._response_work.wait()
+
+    # ------------------------------------------------------------------
+    # shared helpers for subclasses
+    # ------------------------------------------------------------------
+    def request_candidates(self) -> List[Tuple[InitiatorPort, Transaction]]:
+        """Initiator ports with a transaction at the head of their queue."""
+        return [(port, port.pending.peek())
+                for port in self.initiators if not port.pending.is_empty]
+
+    def response_candidates(self) -> List[Tuple[TargetPort, ResponseBeat]]:
+        """Target ports with a response beat ready."""
+        return [(target, target.response_fifo.peek())
+                for target in self.targets if not target.response_fifo.is_empty]
+
+    def bus_cycles_for_beat(self, beat_bytes: int) -> int:
+        """Bus cycles one data beat occupies on this fabric's data path."""
+        return max(1, -(-beat_bytes // self.data_width_bytes))
+
+    def request_cycles(self, txn: Transaction) -> int:
+        """Request-channel occupancy of a transaction.
+
+        Reads send a single request cell (opcode + address); writes carry
+        their data on the request path, one (width-adjusted) cell per beat.
+        """
+        if txn.is_read:
+            return 1
+        return txn.beats * self.bus_cycles_for_beat(txn.beat_bytes)
+
+    def pop_granted(self, port: InitiatorPort, txn: Transaction) -> None:
+        """Remove a granted transaction from its port queue and stamp it."""
+        head = port.pending.try_get()
+        if head is not txn:
+            raise FabricError(
+                f"{self.name}: arbitration raced ({head!r} vs {txn!r})")
+        txn.t_granted = self.sim.now
+        if not port.pending.is_empty:
+            # A new head surfaced; a channel process that went to sleep
+            # because no head matched its direction must re-examine it
+            # (e.g. AXI's AW engine when a write emerges behind reads).
+            self._notify_request()
+
+    def deliver_beat(self, beat: ResponseBeat) -> None:
+        """Complete bookkeeping when a response beat reaches the initiator.
+
+        Initiators that need per-beat visibility (bridges relaying data to
+        another layer) register a callable under ``txn.meta['beat_sink']``.
+        """
+        txn = beat.txn
+        if txn.t_first_data is None and not beat.is_write_ack:
+            txn.t_first_data = self.sim.now
+        if beat.error:
+            txn.error = True
+        sink = txn.meta.get("beat_sink")
+        if sink is not None:
+            sink(beat)
+        if beat.is_last:
+            txn.complete(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # stats
+    # ------------------------------------------------------------------
+    def utilization_report(self) -> Dict[str, float]:
+        """Utilisation per channel, at the current time."""
+        return {name: mon.utilization() for name, mon in sorted(self.channels.items())}

@@ -1,0 +1,26 @@
+"""Memory subsystem: on-chip SRAM, SDR/DDR SDRAM devices, LMI controller."""
+
+from .lmi import LmiConfig, LmiController
+from .onchip import OnChipMemory
+from .sdram import BankState, SdramDevice, SdramTimingError
+from .timing import (
+    DDR_SDRAM,
+    SDR_SDRAM,
+    TIMING_PRESETS,
+    SdramGeometry,
+    SdramTiming,
+)
+
+__all__ = [
+    "BankState",
+    "DDR_SDRAM",
+    "LmiConfig",
+    "LmiController",
+    "OnChipMemory",
+    "SDR_SDRAM",
+    "SdramDevice",
+    "SdramGeometry",
+    "SdramTiming",
+    "SdramTimingError",
+    "TIMING_PRESETS",
+]

@@ -1,0 +1,269 @@
+"""LMI memory controller model.
+
+The paper's controller was reverse engineered from RTL waveforms: "The model
+includes a bus dependent and a bus independent part ... Input and output
+FIFOs allow storage of incoming packets or injection of outgoing packets into
+the bus.  FIFO size and bus data width are tunable parameters.  The
+controller implements an optimization engine [which] performs memory access
+optimizations such as opcode merging and variable-depth lookahead, and
+generates the corresponding sequence of SDRAM commands ... while meeting
+SDRAM timing specifications" (Section 3.1).
+
+Our model keeps the same split:
+
+bus dependent part
+    The :class:`~repro.interconnect.base.TargetPort` it sits behind — its
+    ``request_fifo`` is the input FIFO whose occupancy Fig. 6 dissects, its
+    ``response_fifo`` the output FIFO.
+
+bus independent part
+    The optimisation engine + command scheduler in this module, driving a
+    :class:`~repro.memory.sdram.SdramDevice` whose always-on timing checker
+    stands in for the paper's cycle-by-cycle RTL validation.
+
+The headline latency is back-annotated exactly as in the paper: the
+``pipeline_front_cycles``/``pipeline_back_cycles`` parameters are chosen so a
+row-hit read observes ~11 controller cycles from request sampling to first
+read data (Section 4.2: "11 cycles to get the first read data word since the
+request was sampled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..core.clock import Clock
+from ..core.component import Component
+from ..core.kernel import Simulator
+from ..core.statistics import Counter, LatencySummary
+from ..core.sync import WorkSignal
+from ..interconnect.base import TargetPort
+from ..interconnect.types import Opcode, ResponseBeat, Transaction
+from .sdram import SdramDevice
+from .timing import DDR_SDRAM, SdramGeometry, SdramTiming
+
+
+@dataclass(frozen=True)
+class LmiConfig:
+    """Tunable parameters of the LMI controller.
+
+    ``input_fifo_depth``/``output_fifo_depth`` size the bus-interface FIFOs;
+    ``lookahead_depth`` is the optimisation window ("variable-depth
+    lookahead"); ``merge_limit`` bounds how many queued sequential bursts may
+    be fused into one SDRAM access ("opcode merging"); the pipeline cycle
+    counts are the back-annotated controller latencies.
+    """
+
+    input_fifo_depth: int = 6
+    output_fifo_depth: int = 8
+    lookahead_depth: int = 4
+    merge_limit: int = 4
+    pipeline_front_cycles: int = 2
+    pipeline_back_cycles: int = 2
+    refresh_enabled: bool = True
+    #: Let queued reads bypass posted writes inside the lookahead window
+    #: (writes are latency-insensitive once posted; reads stall initiators).
+    read_priority: bool = False
+
+    def __post_init__(self) -> None:
+        if self.input_fifo_depth < 1 or self.output_fifo_depth < 1:
+            raise ValueError("FIFO depths must be >= 1")
+        if self.lookahead_depth < 1:
+            raise ValueError("lookahead depth must be >= 1")
+        if self.merge_limit < 1:
+            raise ValueError("merge limit must be >= 1")
+        if self.pipeline_front_cycles < 0 or self.pipeline_back_cycles < 0:
+            raise ValueError("pipeline latencies cannot be negative")
+
+
+class LmiController(Component):
+    """The off-chip SDRAM memory controller (the platform bottleneck)."""
+
+    def __init__(self, sim: Simulator, name: str, port: TargetPort,
+                 clock: Clock, config: Optional[LmiConfig] = None,
+                 timing: SdramTiming = DDR_SDRAM,
+                 geometry: Optional[SdramGeometry] = None,
+                 parent: Optional[Component] = None) -> None:
+        super().__init__(sim, name, clock=clock, parent=parent)
+        self.port = port
+        self.config = config or LmiConfig()
+        self.device = SdramDevice(sim, f"{name}.sdram", clock, timing,
+                                  geometry or SdramGeometry())
+        # -- statistics ---------------------------------------------------
+        self.served = Counter(f"{name}.served")
+        self.merges = Counter(f"{name}.merges")
+        self.lookahead_promotions = Counter(f"{name}.lookahead_promotions")
+        self.read_latency = LatencySummary(f"{name}.read_latency")
+        self._last_was_write = False
+        self._next_refresh_ps = clock.to_ps(timing.t_refi)
+        # Wake the engine whenever a request lands in the input FIFO.
+        self._work = WorkSignal(sim, name=f"{name}.work")
+        port.request_fifo.watch(self._on_input_level)
+        self.process(self._engine(), name="engine")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, sim: Simulator, fabric, name: str, address_base: int,
+               address_size: int, clock: Clock,
+               config: Optional[LmiConfig] = None,
+               timing: SdramTiming = DDR_SDRAM,
+               geometry: Optional[SdramGeometry] = None,
+               parent: Optional[Component] = None) -> "LmiController":
+        """Create the target port on ``fabric`` and the controller in one go."""
+        from ..interconnect.types import AddressRange
+
+        cfg = config or LmiConfig()
+        port = fabric.add_target(name, AddressRange(address_base, address_size),
+                                 request_depth=cfg.input_fifo_depth,
+                                 response_depth=cfg.output_fifo_depth)
+        return cls(sim, name, port, clock, config=cfg, timing=timing,
+                   geometry=geometry, parent=parent)
+
+    # ------------------------------------------------------------------
+    def _on_input_level(self, _time: int, old: int, new: int) -> None:
+        if new > old:
+            self._work.notify()
+
+    def _wait_work(self):
+        return self._work.wait()
+
+    # ------------------------------------------------------------------
+    # optimisation engine
+    # ------------------------------------------------------------------
+    def _choose(self, window: Sequence[Transaction]) -> Transaction:
+        """Pick the next transaction from the lookahead window.
+
+        Preference order: a row hit matching the last access direction (no
+        bus turnaround), any row hit, then the oldest entry.  Only the
+        configured window depth is inspected — with ``lookahead_depth == 1``
+        the engine degenerates to strict FIFO order (an ablation knob).
+        """
+        best = window[0]
+        best_score = self._score(best)
+        for txn in window[1:]:
+            score = self._score(txn)
+            if score > best_score:
+                best, best_score = txn, score
+        if best is not window[0]:
+            self.lookahead_promotions.add()
+        return best
+
+    def _score(self, txn: Transaction) -> int:
+        score = 0
+        if self.device.is_row_hit(txn.address):
+            score += 2
+        if txn.is_write == self._last_was_write:
+            score += 1
+        if self.config.read_priority and txn.is_read:
+            # Reads gate initiator progress; posted writes can wait.
+            score += 4
+        return score
+
+    def _collect_merges(self, txn: Transaction) -> List[Transaction]:
+        """Opcode merging: queued bursts that directly continue ``txn``.
+
+        Candidates must have the same direction, be address-contiguous, stay
+        in the same SDRAM row and still fit the merge limit.  They are
+        removed from the input FIFO and served by the same device access.
+        """
+        group = [txn]
+        end = txn.end_address
+        bank_row = self.device.geometry.decode(txn.address)[:2]
+        changed = True
+        while changed and len(group) < self.config.merge_limit:
+            changed = False
+            for candidate in self.port.request_fifo.snapshot():
+                if (candidate.opcode is txn.opcode
+                        and candidate.address == end
+                        and self.device.geometry.decode(candidate.address)[:2]
+                        == bank_row):
+                    self.port.request_fifo.remove(candidate)
+                    group.append(candidate)
+                    end = candidate.end_address
+                    self.merges.add()
+                    changed = True
+                    break
+        return group
+
+    # ------------------------------------------------------------------
+    # main engine process
+    # ------------------------------------------------------------------
+    def _engine(self):
+        clk = self.clock
+        cfg = self.config
+        fifo = self.port.request_fifo
+        while True:
+            if cfg.refresh_enabled and self.sim.now >= self._next_refresh_ps:
+                done = self.device.refresh(self.sim.now)
+                # Catch-up is bounded: after a long idle period the refresh
+                # debt is considered paid rather than replayed one by one.
+                interval = clk.to_ps(self.device.timing.t_refi)
+                self._next_refresh_ps = max(self._next_refresh_ps + interval,
+                                            done)
+                if done > self.sim.now:
+                    yield self.sim.timeout(done - self.sim.now)
+                continue
+            window = fifo.snapshot()[:cfg.lookahead_depth]
+            if not window:
+                yield self._wait_work()
+                continue
+            txn = self._choose(window)
+            fifo.remove(txn)
+            group = self._collect_merges(txn)
+            yield from self._serve_group(group)
+
+    def _serve_group(self, group: List[Transaction]):
+        """One SDRAM access covering every transaction in ``group``."""
+        clk = self.clock
+        cfg = self.config
+        first_txn = group[0]
+        total_bytes = sum(t.total_bytes for t in group)
+        device_beats = max(1, -(-total_bytes // self.device.geometry.width_bytes))
+        # Controller front pipeline: decode, optimisation, command issue.
+        yield clk.edges(cfg.pipeline_front_cycles)
+        first_data, last_data, _hit = self.device.access(
+            first_txn.is_write, first_txn.address, device_beats, self.sim.now)
+        self._last_was_write = first_txn.is_write
+        self.served.add(len(group))
+        if first_txn.is_write:
+            yield from self._finish_writes(group, last_data)
+        else:
+            yield from self._return_read_data(group, first_data, last_data)
+
+    def _finish_writes(self, group: List[Transaction], last_data: int):
+        """Wait out the device write burst, then acknowledge if required."""
+        if last_data > self.sim.now:
+            yield self.sim.timeout(last_data - self.sim.now)
+        yield self.clock.edges(self.config.pipeline_back_cycles)
+        for txn in group:
+            if txn.meta.get("needs_ack", not txn.posted):
+                yield self.port.put_beat(ResponseBeat(txn, index=-1, is_last=True))
+            elif not txn.ev_done.triggered:
+                txn.complete(self.sim.now)
+
+    def _return_read_data(self, group: List[Transaction],
+                          first_data: int, last_data: int):
+        """Stream read data back through the output FIFO.
+
+        Bus beats are spread linearly across the device data window, then
+        delayed by the back pipeline.  A full output FIFO back-pressures the
+        return path (the device transfer itself is already committed — the
+        output FIFO is exactly what absorbs that skid).
+        """
+        clk = self.clock
+        back = clk.to_ps(self.config.pipeline_back_cycles)
+        bus_beats = sum(t.beats for t in group)
+        window = max(0, last_data - first_data)
+        step = window // bus_beats if bus_beats else 0
+        beat_no = 0
+        for txn in group:
+            for index in range(txn.beats):
+                ready = first_data + beat_no * step + back
+                if ready > self.sim.now:
+                    yield self.sim.timeout(ready - self.sim.now)
+                yield self.port.put_beat(
+                    ResponseBeat(txn, index=index, is_last=index == txn.beats - 1))
+                beat_no += 1
+            if txn.t_accepted is not None:
+                self.read_latency.add(self.sim.now - txn.t_accepted)

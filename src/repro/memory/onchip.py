@@ -1,0 +1,135 @@
+"""On-chip shared memory model.
+
+The cheap-access comparison point of Sections 4.1/4.2: "an on-chip core with
+1 wait state".  Two orthogonal speed knobs:
+
+``wait_states``
+    Per-word throughput cost: every memory word takes ``1 + wait_states``
+    array cycles.  With one wait state this forces the 50% response-channel
+    efficiency bound of Section 4.1.2.
+
+``access_latency_cycles``
+    Initial access time per burst ("the memory device gets progressively
+    slower in responding to access requests" — the Fig. 4 sweep variable).
+    Latency phases of up to ``pipeline_depth`` accesses may overlap, the
+    data port stays strictly serialised.
+
+``pipeline_depth`` together with the request-FIFO depth of the target port
+is what Section 4.2 calls the buffering of the target interface: a simple
+slave has a single-slot interface and "each transaction is blocking"
+(``pipeline_depth=1``), whereas a smarter interface tracks several
+outstanding accesses — the property that lets *distributed* platforms keep
+the master-to-slave path filled when latency grows (guideline 3(iii)).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.clock import Clock
+from ..core.component import Component
+from ..core.kernel import Simulator
+from ..core.statistics import Counter
+from ..core.sync import Semaphore
+from ..interconnect.base import TargetPort
+from ..interconnect.types import ResponseBeat, Transaction
+
+
+class OnChipMemory(Component):
+    """On-chip SRAM behind a fabric target port."""
+
+    def __init__(self, sim: Simulator, name: str, port: TargetPort,
+                 clock: Clock, wait_states: int = 1, width_bytes: int = 8,
+                 access_latency_cycles: int = 0, pipeline_depth: int = 1,
+                 parent: Optional[Component] = None) -> None:
+        super().__init__(sim, name, clock=clock, parent=parent)
+        if wait_states < 0:
+            raise ValueError(f"negative wait states: {wait_states}")
+        if access_latency_cycles < 0:
+            raise ValueError(f"negative access latency: {access_latency_cycles}")
+        if pipeline_depth < 1:
+            raise ValueError(f"pipeline depth must be >= 1: {pipeline_depth}")
+        if width_bytes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"unsupported memory width {width_bytes}")
+        self.port = port
+        self.wait_states = wait_states
+        self.width_bytes = width_bytes
+        self.access_latency_cycles = access_latency_cycles
+        self.pipeline_depth = pipeline_depth
+        self.reads = Counter(f"{name}.reads")
+        self.writes = Counter(f"{name}.writes")
+        self.beats_served = Counter(f"{name}.beats")
+        #: Concurrent latency phases in flight (the interface's slots).
+        self._slots = Semaphore(sim, pipeline_depth, name=f"{name}.slots")
+        #: The data port: one burst streams at a time, in order.
+        self._data_port = Semaphore(sim, 1, name=f"{name}.data_port")
+        self._order = 0
+        self._next_to_stream = 0
+        self._turn_events = {}
+        self.process(self._dispatch(), name="dispatch")
+
+    # ------------------------------------------------------------------
+    def _service_cycles(self, total_bytes: int) -> int:
+        """Array cycles for a burst: ``1 + wait_states`` per memory word."""
+        words = max(1, -(-total_bytes // self.width_bytes))
+        return words * (self.wait_states + 1)
+
+    def _dispatch(self):
+        """Pull requests and launch (possibly overlapping) accesses."""
+        while True:
+            yield self._slots.acquire()
+            txn: Transaction = yield self.port.get_request()
+            ticket = self._order
+            self._order += 1
+            self.process(self._access(txn, ticket), name=f"acc{txn.tid}")
+
+    def _access(self, txn: Transaction, ticket: int):
+        clk = self.clock
+        if self.access_latency_cycles > 0:
+            yield clk.edges(self.access_latency_cycles)
+        # Bursts stream strictly in arrival order on the single data port.
+        while self._next_to_stream != ticket:
+            waiter = self._turn_events.get(ticket)
+            if waiter is None or waiter.processed:
+                waiter = self.sim.event(name=f"{self.name}.turn{ticket}")
+                self._turn_events[ticket] = waiter
+            yield waiter
+        yield self._data_port.acquire()
+        try:
+            if txn.is_read:
+                self.reads.add()
+                yield from self._stream_read(txn, clk)
+            else:
+                self.writes.add()
+                yield from self._commit_write(txn, clk)
+        finally:
+            self._data_port.release()
+            self._slots.release()
+            self._next_to_stream += 1
+            waiter = self._turn_events.pop(self._next_to_stream, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed()
+
+    def _stream_read(self, txn: Transaction, clk: Clock):
+        """Stream the burst out, byte-based array time spread over beats."""
+        total_cycles = self._service_cycles(txn.total_bytes)
+        base = total_cycles // txn.beats
+        remainder = total_cycles - base * txn.beats
+        for index in range(txn.beats):
+            cycles = base + (remainder if index == 0 else 0)
+            if cycles > 0:
+                yield clk.edges(cycles)
+            self.beats_served.add()
+            beat = ResponseBeat(txn, index=index, is_last=index == txn.beats - 1)
+            # A full response FIFO back-pressures the array naturally.
+            yield self.port.put_beat(beat)
+
+    def _commit_write(self, txn: Transaction, clk: Clock):
+        """Commit the already-transferred data, then acknowledge if needed."""
+        yield clk.edges(self._service_cycles(txn.total_bytes))
+        self.beats_served.add(txn.beats)
+        if txn.meta.get("needs_ack", not txn.posted):
+            yield self.port.put_beat(ResponseBeat(txn, index=-1, is_last=True))
+        elif not txn.ev_done.triggered:
+            # Posted write on a fabric that did not already complete it.
+            txn.complete(self.sim.now)

@@ -1,0 +1,128 @@
+"""SDRAM timing parameter sets.
+
+"The controller ... generates the corresponding sequence of SDRAM commands
+(e.g., precharge, autorefresh, active, read, write) while meeting SDRAM
+timing specifications (e.g., TRAS, TCAS), which are model parameters."
+(Section 3.1)
+
+All values are in *memory clock cycles*; the device model converts to
+picoseconds with its clock.  The presets are representative mid-2000s parts
+(the platform is a 2007 consumer-electronics SoC with an off-chip DDR
+SDRAM); absolute values are tunable model parameters exactly as in the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class SdramTiming:
+    """JEDEC-style timing constraints, in memory-clock cycles."""
+
+    #: CAS latency: READ command to first data (the paper's TCAS).
+    cl: int = 3
+    #: ACTIVATE to READ/WRITE delay.
+    t_rcd: int = 3
+    #: PRECHARGE to ACTIVATE delay.
+    t_rp: int = 3
+    #: ACTIVATE to PRECHARGE minimum (row must stay open this long) — TRAS.
+    t_ras: int = 7
+    #: ACTIVATE to ACTIVATE, same bank (row cycle time).
+    t_rc: int = 10
+    #: ACTIVATE to ACTIVATE, different banks.
+    t_rrd: int = 2
+    #: Write recovery: last write data to PRECHARGE.
+    t_wr: int = 3
+    #: Write-to-read turnaround.
+    t_wtr: int = 2
+    #: REFRESH command period (row refresh cycle time).
+    t_rfc: int = 14
+    #: Average refresh interval.
+    t_refi: int = 1560
+    #: Data beats transferred per clock: 1 for SDR, 2 for DDR.
+    beats_per_clock: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("cl", "t_rcd", "t_rp", "t_ras", "t_rc", "t_rrd",
+                     "t_wr", "t_wtr", "t_rfc", "t_refi"):
+            if getattr(self, name) < 1:
+                raise ValueError(f"timing parameter {name} must be >= 1")
+        if self.beats_per_clock not in (1, 2):
+            raise ValueError("beats_per_clock must be 1 (SDR) or 2 (DDR)")
+        if self.t_rc < self.t_ras + self.t_rp:
+            raise ValueError(
+                f"inconsistent timings: tRC ({self.t_rc}) < "
+                f"tRAS + tRP ({self.t_ras + self.t_rp})")
+
+    @property
+    def is_ddr(self) -> bool:
+        return self.beats_per_clock == 2
+
+    def scaled(self, **overrides) -> "SdramTiming":
+        """A copy with selected parameters replaced (for sweeps)."""
+        return replace(self, **overrides)
+
+
+@dataclass(frozen=True)
+class SdramGeometry:
+    """Device organisation: banks x rows x columns x data width."""
+
+    banks: int = 4
+    row_bits: int = 13
+    col_bits: int = 10
+    #: Width of the device data bus in bytes (one column = one beat).
+    width_bytes: int = 8
+
+    def __post_init__(self) -> None:
+        if self.banks < 1 or self.banks & (self.banks - 1):
+            raise ValueError(f"banks must be a power of two, got {self.banks}")
+        if not 1 <= self.row_bits <= 20 or not 1 <= self.col_bits <= 14:
+            raise ValueError("implausible row/col bits")
+        if self.width_bytes not in (1, 2, 4, 8, 16):
+            raise ValueError(f"unsupported device width {self.width_bytes}")
+
+    @property
+    def row_bytes(self) -> int:
+        """Bytes per open row (page size)."""
+        return (1 << self.col_bits) * self.width_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.banks * (1 << self.row_bits) * self.row_bytes
+
+    def decode(self, address: int) -> tuple:
+        """Map a byte address to ``(bank, row, column)``.
+
+        Bank bits sit above the column bits (bank interleaving of
+        consecutive rows' worth of data), the usual controller mapping that
+        lets sequential streams hit open rows for a whole page.
+        """
+        if address < 0:
+            raise ValueError(f"negative address {address:#x}")
+        beat = address // self.width_bytes
+        col = beat & ((1 << self.col_bits) - 1)
+        beat >>= self.col_bits
+        bank = beat & (self.banks - 1)
+        beat >>= self.banks.bit_length() - 1
+        row = beat & ((1 << self.row_bits) - 1)
+        return bank, row, col
+
+
+#: Representative DDR SDRAM (DDR-333-ish at a 166 MHz memory clock).
+DDR_SDRAM = SdramTiming(cl=3, t_rcd=3, t_rp=3, t_ras=7, t_rc=10, t_rrd=2,
+                        t_wr=3, t_wtr=2, t_rfc=14, t_refi=1297,
+                        beats_per_clock=2)
+
+#: Representative single-data-rate SDRAM (PC133-class).
+SDR_SDRAM = SdramTiming(cl=2, t_rcd=2, t_rp=2, t_ras=5, t_rc=8, t_rrd=2,
+                        t_wr=2, t_wtr=1, t_rfc=9, t_refi=1040,
+                        beats_per_clock=1)
+
+#: Named presets for configuration files.
+TIMING_PRESETS: Dict[str, SdramTiming] = {
+    "ddr": DDR_SDRAM,
+    "sdr": SDR_SDRAM,
+}

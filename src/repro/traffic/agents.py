@@ -1,0 +1,120 @@
+"""Multi-agent IPTG configurations.
+
+"IPTG is best used to emulate the behaviour of complex real-life IPs: such
+IPs can be often seen as having a number of internal sub-process (or
+agents), each one with its own characteristics (buffering space, transaction
+pipelining capability) but in some way dependent on each other (e.g., when
+operating in pipeline).  With IPTG, each agent traffic is handled
+automatically according to its characteristics, and inter-agent
+synchronization points can be set to emulate dependencies between them."
+(Section 3.1)
+
+:class:`AgentSpec` describes one sub-process; :class:`MultiAgentIp` wires a
+set of them into a producer/consumer pipeline where agent *i+1* may only
+work on item *k* after agent *i* finished it, subject to the inter-stage
+buffering depth.  This models, e.g., a video IP whose decrypt, decode and
+resize engines hand frames to one another through bounded frame buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..core.component import Component
+from ..core.events import Event
+from ..core.kernel import Simulator
+from ..core.sync import Semaphore
+from ..interconnect.base import Fabric, InitiatorPort
+from .iptg import Iptg, IptgPhase
+
+
+@dataclass
+class AgentSpec:
+    """One internal agent of a complex IP.
+
+    ``items`` work items are processed; for each item the agent issues the
+    given traffic ``phase`` (scaled to per-item transaction count).
+    ``buffering`` is the depth of the queue *towards the next agent*: the
+    producer may run at most this many items ahead (its "buffering space").
+    ``max_outstanding`` is its bus-interface pipelining capability.
+    """
+
+    name: str
+    phase: IptgPhase
+    items: int = 8
+    buffering: int = 2
+    max_outstanding: int = 2
+
+    def __post_init__(self) -> None:
+        if self.items < 1:
+            raise ValueError("agent needs >= 1 item")
+        if self.buffering < 1:
+            raise ValueError("buffering must be >= 1")
+
+
+class MultiAgentIp(Component):
+    """A pipeline of dependent agents sharing one complex IP identity."""
+
+    def __init__(self, sim: Simulator, name: str, fabric: Fabric,
+                 agents: List[AgentSpec], address_base: int = 0,
+                 address_span: int = 1 << 20, seed: int = 7,
+                 parent: Optional[Component] = None) -> None:
+        super().__init__(sim, name, clock=fabric.clock, parent=parent)
+        if not agents:
+            raise ValueError(f"{name}: needs at least one agent")
+        self.specs = agents
+        self.iptgs: List[Iptg] = []
+        self.done: Event = sim.event(name=f"{name}.done")
+        self._finished = 0
+        # Inter-agent synchronisation points: slots[i] limits how far agent i
+        # runs ahead of agent i+1; tokens[i] counts items ready for agent i.
+        self._slots: List[Semaphore] = []
+        self._ready: List[Semaphore] = []
+        for i, spec in enumerate(agents[:-1]):
+            self._slots.append(Semaphore(sim, spec.buffering,
+                                         name=f"{name}.slots{i}"))
+        for i in range(1, len(agents)):
+            self._ready.append(Semaphore(sim, 0, name=f"{name}.ready{i}",
+                                         bounded=False))
+        for i, spec in enumerate(agents):
+            port = fabric.connect_initiator(
+                f"{name}.{spec.name}", max_outstanding=spec.max_outstanding)
+            base = address_base + i * (address_span // max(1, len(agents)))
+            self.process(self._agent(i, spec, port, base), name=spec.name)
+
+    def _agent(self, index: int, spec: AgentSpec, port: InitiatorPort,
+               base: int):
+        """Process ``spec.items`` items, respecting pipeline dependencies."""
+        sim = self.sim
+        for item in range(spec.items):
+            if index > 0:
+                # Wait for the upstream agent to hand over item ``item``.
+                yield self._ready[index - 1].acquire()
+            if index < len(self.specs) - 1:
+                # Reserve a slot in the buffer towards the downstream agent.
+                yield self._slots[index].acquire()
+            iptg = Iptg(sim, f"{self.name}.{spec.name}.it{item}", port,
+                        [spec.phase],
+                        address_base=base + item * 4096,
+                        address_span=4096,
+                        seed=hash((self.name, spec.name, item)) & 0xFFFF,
+                        parent=self)
+            self.iptgs.append(iptg)
+            yield iptg.done
+            if index > 0:
+                # Free the upstream buffer slot this item occupied.
+                self._slots[index - 1].release()
+            if index < len(self.specs) - 1:
+                self._ready[index].release()
+        self._finished += 1
+        if self._finished == len(self.specs):
+            self.done.succeed()
+
+    @property
+    def transactions(self):
+        """All transactions issued by every agent (for metrics)."""
+        result = []
+        for iptg in self.iptgs:
+            result.extend(iptg.transactions)
+        return result

@@ -1,0 +1,22 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import Simulator
+
+
+@pytest.fixture
+def sim():
+    """A fresh simulator."""
+    return Simulator()
+
+
+@pytest.fixture
+def clk(sim):
+    """A 200 MHz clock (5000 ps period)."""
+    return sim.clock(freq_mhz=200, name="clk")
+
+
+def run_all(simulator, until=None):
+    """Run a simulator to completion and return the end time."""
+    return simulator.run(until=until)

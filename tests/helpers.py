@@ -1,0 +1,74 @@
+"""Shared builders for interconnect/memory tests."""
+
+from repro.core import Simulator
+from repro.interconnect import (
+    AddressRange,
+    AhbLayer,
+    AxiFabric,
+    Opcode,
+    StbusNode,
+    StbusType,
+    Transaction,
+)
+from repro.memory import OnChipMemory
+
+MEM_SPAN = 1 << 20
+
+
+def make_node(sim, protocol="stbus", freq_mhz=200, width=4,
+              bus_type=StbusType.T3, **kwargs):
+    clk = sim.clock(freq_mhz=freq_mhz, name="clk")
+    if protocol == "stbus":
+        return StbusNode(sim, "node", clk, data_width_bytes=width,
+                         bus_type=bus_type, **kwargs)
+    if protocol == "ahb":
+        return AhbLayer(sim, "node", clk, data_width_bytes=width, **kwargs)
+    return AxiFabric(sim, "node", clk, data_width_bytes=width, **kwargs)
+
+
+def add_memory(sim, fabric, base=0, wait_states=1, request_depth=2,
+               response_depth=4, width=None, **kwargs):
+    port = fabric.add_target(f"mem@{base:x}", AddressRange(base, MEM_SPAN),
+                             request_depth=request_depth,
+                             response_depth=response_depth)
+    memory = OnChipMemory(sim, f"mem{base:x}", port, fabric.clock,
+                          wait_states=wait_states,
+                          width_bytes=width or fabric.data_width_bytes,
+                          **kwargs)
+    return port, memory
+
+
+def read(address, beats=8, beat_bytes=4, initiator="ip0", **kw):
+    return Transaction(initiator=initiator, opcode=Opcode.READ,
+                       address=address, beats=beats, beat_bytes=beat_bytes,
+                       **kw)
+
+
+def write(address, beats=8, beat_bytes=4, initiator="ip0", posted=True, **kw):
+    return Transaction(initiator=initiator, opcode=Opcode.WRITE,
+                       address=address, beats=beats, beat_bytes=beat_bytes,
+                       posted=posted, **kw)
+
+
+def drive(sim, port, transactions, gap_ps=0):
+    """Issue transactions back to back (bounded by port credits)."""
+    def body():
+        for txn in transactions:
+            yield port.issue(txn)
+            if gap_ps:
+                yield sim.timeout(gap_ps)
+        for txn in transactions:
+            if not txn.ev_done.triggered:
+                yield txn.ev_done
+    return sim.process(body(), name="driver")
+
+
+def run_transactions(sim, port, transactions, until=2_000_000_000):
+    """Drive and run to completion; returns the end time (ps)."""
+    proc = drive(sim, port, transactions)
+    sim.run(until=until)
+    incomplete = [t for t in transactions if t.t_done is None]
+    if incomplete:
+        raise AssertionError(f"{len(incomplete)} transactions never "
+                             f"completed: {incomplete[:3]}")
+    return sim.now

@@ -1,0 +1,137 @@
+"""Tests for metrics, the interface monitor and plain-text reporting."""
+
+import pytest
+
+from repro.analysis import (
+    InterfaceMonitor,
+    RunResult,
+    STATE_FULL,
+    STATE_IDLE,
+    STATE_STORING,
+    bar_chart,
+    breakdown_chart,
+    format_table,
+    normalize,
+    percent,
+    speedup,
+    summarize_transactions,
+)
+from repro.interconnect import AddressRange
+
+from .helpers import add_memory, make_node, read, run_transactions
+
+
+class TestRunResult:
+    def _result(self, label, exec_ps):
+        return RunResult(label=label, execution_time_ps=exec_ps,
+                         transactions=10, bytes_transferred=1000)
+
+    def test_derived_metrics(self):
+        result = self._result("a", 2_000_000)
+        assert result.execution_time_ns == 2_000
+        assert result.throughput_bytes_per_ns == pytest.approx(0.5)
+
+    def test_normalized_to(self):
+        fast = self._result("fast", 1_000)
+        slow = self._result("slow", 3_000)
+        assert slow.normalized_to(fast) == 3.0
+
+    def test_normalize_mapping(self):
+        results = [self._result("a", 100), self._result("b", 250)]
+        norm = normalize(results, baseline_label="a")
+        assert norm == {"a": 1.0, "b": 2.5}
+        norm_min = normalize(results)
+        assert norm_min["a"] == 1.0
+
+    def test_normalize_unknown_baseline(self):
+        with pytest.raises(KeyError):
+            normalize([self._result("a", 1)], baseline_label="missing")
+
+    def test_speedup(self):
+        assert speedup(self._result("s", 300), self._result("f", 100)) == 3.0
+
+
+class TestSummarize:
+    def test_from_transactions(self, sim):
+        node = make_node(sim)
+        add_memory(sim, node)
+        port = node.connect_initiator("ip0", max_outstanding=2)
+        txns = [read(i * 64) for i in range(5)]
+        run_transactions(sim, port, txns)
+        result = summarize_transactions("test", sim.now, txns)
+        assert result.transactions == 5
+        assert result.bytes_transferred == 5 * 32
+        assert result.mean_latency_ps > 0
+        assert result.p95_latency_ps >= result.mean_latency_ps * 0.5
+
+
+class TestInterfaceMonitor:
+    def test_state_partition(self, sim):
+        node = make_node(sim)
+        port, __ = add_memory(sim, node, request_depth=1, wait_states=6)
+        monitor = InterfaceMonitor(sim, port)
+        ip = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 64) for i in range(6)]
+        run_transactions(sim, ip, txns)
+        report = monitor.report()
+        assert set(report) == {"phase1"}
+        row = report["phase1"]
+        total = row[STATE_FULL] + row[STATE_STORING] + row[STATE_IDLE]
+        assert total == pytest.approx(1.0, abs=0.01)
+        assert 0.0 <= row["fifo_empty"] <= 1.0
+
+    def test_phases_split_the_timeline(self, sim):
+        node = make_node(sim)
+        port, __ = add_memory(sim, node)
+        monitor = InterfaceMonitor(sim, port)
+
+        def body():
+            yield sim.timeout(1_000)
+            monitor.begin_phase("phase2")
+            yield sim.timeout(1_000)
+
+        sim.process(body())
+        sim.run()
+        report = monitor.report()
+        assert list(report) == ["phase1", "phase2"]
+
+    def test_idle_system_is_all_idle(self, sim):
+        node = make_node(sim)
+        port, __ = add_memory(sim, node)
+        monitor = InterfaceMonitor(sim, port)
+        sim.timeout(10_000)
+        sim.run()
+        row = monitor.report()["phase1"]
+        assert row[STATE_IDLE] == pytest.approx(1.0)
+        assert row["fifo_empty"] == pytest.approx(1.0)
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["bb", 20]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "1.500" in text
+
+    def test_format_table_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_bar_chart(self):
+        text = bar_chart({"fast": 1.0, "slow": 2.0}, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # the max value fills the bar
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}) == "(no data)"
+
+    def test_breakdown_chart_legend(self):
+        chart = breakdown_chart(
+            {"phase1": {"full": 0.5, "idle": 0.5}}, states=("full", "idle"))
+        assert "legend:" in chart
+        assert "full=50%" in chart
+
+    def test_percent(self):
+        assert percent(0.473) == "47.3%"

@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main, registry
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in registry():
+            assert name in out
+
+
+class TestRun:
+    def test_unknown_experiment(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_small_run_reports_and_passes(self, capsys):
+        assert main(["run", "s412", "--scale", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "response-channel efficiency" in out
+        assert "all shape claims hold" in out
+
+
+class TestPlatform:
+    def _write_config(self, tmp_path, **overrides):
+        document = {
+            "protocol": "stbus",
+            "topology": "collapsed",
+            "traffic_scale": 0.1,
+            "cpu": {"enabled": False},
+        }
+        document.update(overrides)
+        path = tmp_path / "platform.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_runs_config_file(self, tmp_path, capsys):
+        path = self._write_config(tmp_path)
+        assert main(["platform", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "stbus/collapsed" in out
+        assert "execution time" in out
+
+    def test_csv_output(self, tmp_path, capsys):
+        path = self._write_config(tmp_path)
+        csv_path = tmp_path / "out.csv"
+        assert main(["platform", str(path), "--csv", str(csv_path)]) == 0
+        assert csv_path.exists()
+        header = csv_path.read_text().splitlines()[0]
+        assert "execution_time_ps" in header
+
+    def test_bad_config_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"protocol\": \"pci\"}")
+        with pytest.raises(ValueError):
+            main(["platform", str(path)])

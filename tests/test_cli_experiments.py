@@ -1,0 +1,28 @@
+"""CLI smoke coverage for the extension experiments (small scale)."""
+
+from repro.cli import main, registry
+
+
+class TestRegistryCompleteness:
+    def test_every_paper_figure_has_an_entry(self):
+        names = set(registry())
+        assert {"s411", "s412", "fig3", "fig4", "fig5", "fig6",
+                "ablations"} <= names
+
+    def test_extensions_registered(self):
+        names = set(registry())
+        assert {"arbitration", "segmentation", "io_qos"} <= names
+
+
+class TestExtensionRuns:
+    def test_segmentation_via_cli(self, capsys):
+        assert main(["run", "segmentation", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "Path segmentation" in out
+        assert "all shape claims hold" in out
+
+    def test_arbitration_via_cli(self, capsys):
+        assert main(["run", "arbitration", "--scale", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "Arbitration policies" in out
+        assert "all shape claims hold" in out

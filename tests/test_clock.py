@@ -1,0 +1,145 @@
+"""Unit tests for clock domains."""
+
+import pytest
+
+from repro.core import Simulator
+
+
+class TestConstruction:
+    def test_freq_to_period(self, sim):
+        clk = sim.clock(freq_mhz=200)
+        assert clk.period_ps == 5_000
+
+    def test_period_direct(self, sim):
+        clk = sim.clock(period_ps=4_000)
+        assert clk.freq_mhz == 250.0
+
+    def test_exactly_one_spec_required(self, sim):
+        with pytest.raises(ValueError):
+            sim.clock()
+        with pytest.raises(ValueError):
+            sim.clock(freq_mhz=100, period_ps=10_000)
+
+    def test_bad_values_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.clock(period_ps=0)
+        with pytest.raises(ValueError):
+            sim.clock(period_ps=100, phase_ps=-1)
+
+
+class TestEdges:
+    def test_edge_is_strictly_future(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        log = []
+
+        def body():
+            for _ in range(3):
+                yield clk.edge()
+                log.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert log == [1_000, 2_000, 3_000]
+
+    def test_edge_from_mid_cycle(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        log = []
+
+        def body():
+            yield sim.timeout(1_500)
+            yield clk.edge()
+            log.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert log == [2_000]
+
+    def test_edges_n(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        log = []
+
+        def body():
+            yield clk.edges(5)
+            log.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert log == [5_000]
+
+    def test_edges_requires_positive(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        with pytest.raises(ValueError):
+            clk.edges(0)
+
+    def test_phase_offset(self, sim):
+        clk = sim.clock(period_ps=1_000, phase_ps=300)
+        assert clk.next_edge_time(0) == 300
+        assert clk.next_edge_time(300) == 1_300
+
+    def test_delay_unaligned(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        log = []
+
+        def body():
+            yield sim.timeout(250)
+            yield clk.delay(2)
+            log.append(sim.now)
+
+        sim.process(body())
+        sim.run()
+        assert log == [2_250]
+
+    def test_negative_delay_rejected(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        with pytest.raises(ValueError):
+            clk.delay(-1)
+
+
+class TestConversions:
+    def test_cycle_index(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        assert clk.cycle_index(0) == 1  # edge at t=0 counts
+        assert clk.cycle_index(999) == 1
+        assert clk.cycle_index(1_000) == 2
+
+    def test_at_edge(self, sim):
+        clk = sim.clock(period_ps=1_000, phase_ps=500)
+        assert not clk.at_edge(0)
+        assert clk.at_edge(500)
+        assert clk.at_edge(1_500)
+        assert not clk.at_edge(1_000)
+
+    def test_to_ps_and_back(self, sim):
+        clk = sim.clock(period_ps=6_024)  # 166 MHz
+        assert clk.to_ps(11) == 66_264
+        assert clk.to_cycles(66_264) == pytest.approx(11.0)
+
+
+class TestMultiClock:
+    def test_domains_stay_aligned(self, sim):
+        """400/250/200 MHz clocks share edges at their period LCM."""
+        fast = sim.clock(freq_mhz=400)   # 2500 ps
+        mid = sim.clock(freq_mhz=250)    # 4000 ps
+        slow = sim.clock(freq_mhz=200)   # 5000 ps
+        lcm = 20_000  # ps
+        for clk in (fast, mid, slow):
+            assert lcm % clk.period_ps == 0
+            assert clk.at_edge(lcm)
+
+    def test_independent_processes_per_domain(self, sim):
+        a = sim.clock(period_ps=2_000)
+        b = sim.clock(period_ps=3_000)
+        log = []
+
+        def ticker(clk, name, n):
+            for _ in range(n):
+                yield clk.edge()
+                log.append((sim.now, name))
+
+        sim.process(ticker(a, "a", 3))
+        sim.process(ticker(b, "b", 2))
+        sim.run()
+        # At t=6000 both fire; "b" scheduled its edge earlier (at t=3000)
+        # so deterministic FIFO ordering puts it first.
+        assert log == [(2_000, "a"), (3_000, "b"), (4_000, "a"),
+                       (6_000, "b"), (6_000, "a")]

@@ -1,0 +1,40 @@
+"""The shipped examples must run cleanly (they are documentation)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "video_pipeline.py",
+    "abstraction_levels.py",
+    "realtime_display.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_quickstart_shows_the_50_percent_bound():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True, text=True, timeout=120)
+    assert "50" in result.stdout
+
+
+def test_config_file_example_is_loadable():
+    from repro.platforms.loader import load_config
+
+    config = load_config(EXAMPLES / "configs" / "custom_platform.json")
+    assert config.memory.kind == "lmi"
+    assert len(config.clusters) == 2

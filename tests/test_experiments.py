@@ -1,0 +1,91 @@
+"""Smoke tests for the experiment harness (scaled-down runs).
+
+The full-scale shape checks run in ``benchmarks/``; here we verify the
+experiment plumbing end to end at reduced traffic so the suite stays fast,
+plus the shape claims that are robust at small scale.
+"""
+
+import pytest
+
+from repro.experiments import (
+    fig3_platform_instances,
+    fig4_memory_speed,
+    fig5_lmi_platforms,
+    fig6_lmi_statistics,
+    single_layer,
+)
+from repro.experiments.common import normalized, run_config
+from repro.platforms import quick_config
+
+
+class TestCommon:
+    def test_run_config(self):
+        result = run_config(quick_config())
+        assert result.execution_time_ps > 0
+
+    def test_normalized_uses_first_key_by_default(self):
+        a = run_config(quick_config())
+        results = {"a": a, "b": a}
+        norm = normalized(results)
+        assert norm["a"] == 1.0
+
+
+class TestSingleLayerSmoke:
+    def test_many_to_one_claims_hold(self):
+        data = single_layer.run_many_to_one(initiators=4, transactions=24)
+        assert single_layer.check_many_to_one(data) == []
+        text = single_layer.report_many_to_one(data)
+        assert "response-channel efficiency" in text
+
+    def test_many_to_many_runs_and_reports(self):
+        data = single_layer.run_many_to_many(
+            initiators=4, targets=2, transactions=16, idle_sweep=[120, 0])
+        text = single_layer.report_many_to_many(data)
+        assert "STBus target-buffering series" in text
+        # Structural integrity of the result dict.
+        assert len(data["rows"]) == 2
+        assert len(data["buffering_series"]) == 4
+
+
+class TestFig3Smoke:
+    def test_runs_and_reports(self):
+        data = fig3_platform_instances.run(traffic_scale=0.2)
+        assert set(data["normalized"]) == set(fig3_platform_instances.BAR_ORDER)
+        text = fig3_platform_instances.report(data)
+        assert "Fig. 3" in text
+        # The STBus group equivalences hold even at small scale.
+        norm = data["normalized"]
+        assert abs(norm["collapsed_stbus"] - norm["collapsed_axi"]) < 0.15
+
+
+class TestFig4Smoke:
+    def test_ratio_grows_with_latency(self):
+        data = fig4_memory_speed.run(latencies=[0, 16], traffic_scale=0.2)
+        series = data["series"]
+        assert series[-1]["ratio"] > series[0]["ratio"]
+        assert "Fig. 4" in fig4_memory_speed.report(data)
+
+
+class TestFig5Smoke:
+    def test_ordering_holds_at_small_scale(self):
+        data = fig5_lmi_platforms.run(traffic_scale=0.25)
+        norm = data["normalized"]
+        assert norm["distributed_stbus"] == min(norm.values())
+        assert norm["distributed_ahb"] == max(norm.values())
+        assert norm["collapsed_axi"] > 1.3
+        # The starvation mechanism is scale-independent.
+        assert data["results"]["collapsed_axi"].extra["lmi_merges"] == 0
+        assert data["results"]["distributed_stbus"].extra["lmi_merges"] > 0
+        assert "Fig. 5" in fig5_lmi_platforms.report(data)
+
+
+class TestFig6Smoke:
+    def test_instrument_and_ahb_diagnosis(self):
+        data = fig6_lmi_statistics.run(traffic_scale=0.5)
+        assert set(data["stbus"]) == {"phase1", "phase2"}
+        # The AHB diagnosis (guideline 6) is robust at any scale.
+        for row in data["ahb"].values():
+            assert row["fifo_full"] <= 0.02
+        assert any(row["no_incoming_request"] >= 0.85
+                   for row in data["ahb"].values())
+        assert "Fig. 6" in fig6_lmi_statistics.report(data)

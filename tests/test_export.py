@@ -1,0 +1,84 @@
+"""Tests for CSV export and latency histograms."""
+
+import csv
+
+import pytest
+
+from repro.analysis import (
+    RunResult,
+    histogram_chart,
+    latency_histogram,
+    results_to_csv,
+    transactions_to_csv,
+)
+
+from .helpers import add_memory, make_node, read, run_transactions
+
+
+def _result(label, exec_ps, **extra):
+    return RunResult(label=label, execution_time_ps=exec_ps,
+                     transactions=5, bytes_transferred=500,
+                     utilization={"central.response": 0.5},
+                     extra=extra)
+
+
+class TestResultsCsv:
+    def test_round_trip_fields(self, tmp_path):
+        path = tmp_path / "results.csv"
+        results_to_csv(path, [_result("a", 1000, merges=3.0),
+                              _result("b", 2000)])
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 2
+        assert rows[0]["label"] == "a"
+        assert rows[0]["execution_time_ps"] == "1000"
+        assert rows[0]["extra.merges"] == "3.0"
+        assert rows[1]["extra.merges"] == ""  # missing cell stays empty
+        assert rows[0]["util.central.response"] == "0.5"
+
+
+class TestTransactionsCsv:
+    def test_lifecycle_columns(self, sim, tmp_path):
+        node = make_node(sim)
+        add_memory(sim, node)
+        port = node.connect_initiator("ip0", max_outstanding=2)
+        txns = [read(i * 64) for i in range(3)]
+        run_transactions(sim, port, txns)
+        path = tmp_path / "txns.csv"
+        transactions_to_csv(path, txns)
+        rows = list(csv.DictReader(path.open()))
+        assert len(rows) == 3
+        for row in rows:
+            assert int(row["latency_ps"]) > 0
+            assert row["opcode"] == "read"
+            assert row["address"].startswith("0x")
+            assert row["error"] == "0"
+
+
+class TestHistogram:
+    def test_empty(self):
+        assert latency_histogram([]) == []
+        assert histogram_chart([]) == "(no samples)"
+
+    def test_single_value(self):
+        histogram = latency_histogram([42, 42, 42])
+        assert histogram == [(42, 42, 3)]
+
+    def test_counts_sum_to_population(self):
+        samples = list(range(0, 1000, 7))
+        histogram = latency_histogram(samples, bins=8)
+        assert len(histogram) == 8
+        assert sum(count for *_e, count in histogram) == len(samples)
+
+    def test_maximum_lands_in_last_bin(self):
+        histogram = latency_histogram([0, 10], bins=2)
+        assert histogram[-1][2] == 1
+
+    def test_bins_validation(self):
+        with pytest.raises(ValueError):
+            latency_histogram([1], bins=0)
+
+    def test_chart_renders(self):
+        histogram = latency_histogram([100, 200, 200, 300], bins=2)
+        chart = histogram_chart(histogram)
+        assert "ns" in chart
+        assert "#" in chart

@@ -1,0 +1,286 @@
+"""Unit and property tests for the FIFO primitives."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import CdcFifo, Fifo, Simulator
+
+
+class TestBasics:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Fifo(sim, 0)
+
+    def test_put_get_order(self, sim):
+        fifo = Fifo(sim, 4)
+        for i in range(3):
+            assert fifo.try_put(i)
+        assert [fifo.try_get() for _ in range(3)] == [0, 1, 2]
+
+    def test_level_and_flags(self, sim):
+        fifo = Fifo(sim, 2)
+        assert fifo.is_empty and not fifo.is_full and fifo.free == 2
+        fifo.try_put("x")
+        assert fifo.level == 1 and len(fifo) == 1
+        fifo.try_put("y")
+        assert fifo.is_full and fifo.free == 0
+        assert not fifo.try_put("z")
+
+    def test_try_get_empty_returns_none(self, sim):
+        fifo = Fifo(sim, 1)
+        assert fifo.try_get() is None
+
+    def test_peek(self, sim):
+        fifo = Fifo(sim, 2)
+        with pytest.raises(LookupError):
+            fifo.peek()
+        fifo.try_put("a")
+        assert fifo.peek() == "a"
+        assert fifo.level == 1  # not consumed
+
+    def test_snapshot_is_copy(self, sim):
+        fifo = Fifo(sim, 4)
+        fifo.try_put(1)
+        snap = fifo.snapshot()
+        fifo.try_get()
+        assert snap == (1,)
+
+    def test_remove_middle(self, sim):
+        fifo = Fifo(sim, 4)
+        for i in range(4):
+            fifo.try_put(i)
+        fifo.remove(2)
+        assert fifo.snapshot() == (0, 1, 3)
+
+    def test_remove_missing_raises(self, sim):
+        fifo = Fifo(sim, 4)
+        fifo.try_put(1)
+        with pytest.raises(ValueError):
+            fifo.remove(99)
+
+
+class TestBlocking:
+    def test_get_blocks_until_put(self, sim):
+        fifo = Fifo(sim, 2)
+        got = []
+
+        def consumer():
+            item = yield fifo.get()
+            got.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(500)
+            yield fifo.put("late")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [(500, "late")]
+
+    def test_put_blocks_until_space(self, sim):
+        fifo = Fifo(sim, 1)
+        fifo.try_put("first")
+        done = []
+
+        def producer():
+            yield fifo.put("second")
+            done.append(sim.now)
+
+        def consumer():
+            yield sim.timeout(800)
+            fifo.try_get()
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert done == [800]
+
+    def test_waiters_served_fifo_fair(self, sim):
+        fifo = Fifo(sim, 1)
+        order = []
+
+        def consumer(name):
+            item = yield fifo.get()
+            order.append((name, item))
+
+        sim.process(consumer("c0"))
+        sim.process(consumer("c1"))
+
+        def producer():
+            yield sim.timeout(10)
+            yield fifo.put("a")
+            yield fifo.put("b")
+
+        sim.process(producer())
+        sim.run()
+        assert order == [("c0", "a"), ("c1", "b")]
+
+    def test_put_waiters_keep_order(self, sim):
+        fifo = Fifo(sim, 1)
+        fifo.try_put(0)
+
+        def producer(value):
+            yield fifo.put(value)
+
+        sim.process(producer(1))
+        sim.process(producer(2))
+
+        drained = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield fifo.get()
+                drained.append(item)
+                yield sim.timeout(10)
+
+        sim.process(consumer())
+        sim.run()
+        assert drained == [0, 1, 2]
+
+
+class TestTelemetry:
+    def test_watchers_see_level_changes(self, sim):
+        fifo = Fifo(sim, 2)
+        changes = []
+        fifo.watch(lambda t, old, new: changes.append((t, old, new)))
+
+        def body():
+            yield fifo.put("a")
+            yield sim.timeout(100)
+            yield fifo.get()
+
+        sim.process(body())
+        sim.run()
+        assert changes == [(0, 0, 1), (100, 1, 0)]
+
+    def test_occupancy_histogram_integrates_time(self, sim):
+        fifo = Fifo(sim, 2)
+
+        def body():
+            yield sim.timeout(100)   # level 0 for 100 ps
+            yield fifo.put("x")      # level 1
+            yield sim.timeout(300)
+            yield fifo.get()         # level 0 again
+            yield sim.timeout(50)
+
+        sim.process(body())
+        sim.run()
+        hist = fifo.occupancy_histogram()
+        assert hist[0] == 150
+        assert hist[1] == 300
+
+    def test_mean_occupancy(self, sim):
+        fifo = Fifo(sim, 2)
+
+        def body():
+            yield fifo.put("x")
+            yield sim.timeout(100)
+            yield fifo.put("y")
+            yield sim.timeout(100)
+
+        sim.process(body())
+        sim.run()
+        assert fifo.mean_occupancy() == pytest.approx(1.5)
+
+
+class TestCdcFifo:
+    def test_items_delayed_by_latency(self, sim):
+        fifo = CdcFifo(sim, 4, latency_ps=250)
+        got = []
+
+        def consumer():
+            item = yield fifo.get()
+            got.append((sim.now, item))
+
+        sim.process(consumer())
+        fifo.try_put("x")
+        sim.run()
+        assert got == [(250, "x")]
+
+    def test_zero_latency_behaves_like_fifo(self, sim):
+        fifo = CdcFifo(sim, 2, latency_ps=0)
+        fifo.try_put("a")
+        assert fifo.try_get() == "a"
+
+    def test_capacity_counts_in_flight(self, sim):
+        fifo = CdcFifo(sim, 1, latency_ps=1_000)
+        assert fifo.try_put("a")
+        assert fifo.is_full
+        assert not fifo.try_put("b")
+
+    def test_ordering_preserved(self, sim):
+        fifo = CdcFifo(sim, 8, latency_ps=100)
+        got = []
+
+        def producer():
+            for i in range(4):
+                yield fifo.put(i)
+                yield sim.timeout(10)
+
+        def consumer():
+            for _ in range(4):
+                item = yield fifo.get()
+                got.append(item)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == [0, 1, 2, 3]
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            CdcFifo(sim, 1, latency_ps=-5)
+
+
+class TestProperties:
+    @given(st.lists(st.integers(), max_size=40),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60, deadline=None)
+    def test_fifo_order_preserved(self, items, capacity):
+        """Whatever the interleaving, items exit in insertion order."""
+        sim = Simulator()
+        fifo = Fifo(sim, capacity)
+        got = []
+
+        def producer():
+            for item in items:
+                yield fifo.put(item)
+
+        def consumer():
+            for _ in items:
+                value = yield fifo.get()
+                got.append(value)
+
+        sim.process(producer())
+        sim.process(consumer())
+        sim.run()
+        assert got == items
+
+    @given(st.lists(st.tuples(st.booleans(), st.integers()), max_size=60),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=60, deadline=None)
+    def test_level_never_exceeds_capacity(self, ops, capacity):
+        sim = Simulator()
+        fifo = Fifo(sim, capacity)
+        for is_put, value in ops:
+            if is_put:
+                fifo.try_put(value)
+            else:
+                fifo.try_get()
+            assert 0 <= fifo.level <= capacity
+
+    @given(st.lists(st.integers(), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_histogram_spans_elapsed_time(self, items):
+        sim = Simulator()
+        fifo = Fifo(sim, max(1, len(items)))
+
+        def body():
+            for item in items:
+                yield fifo.put(item)
+                yield sim.timeout(7)
+
+        sim.process(body())
+        sim.run()
+        hist = fifo.occupancy_histogram()
+        assert sum(hist.values()) == sim.now

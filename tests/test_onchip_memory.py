@@ -1,0 +1,117 @@
+"""Behavioural tests for the on-chip shared memory model."""
+
+import pytest
+
+from repro.core import Simulator
+
+from .helpers import add_memory, make_node, read, run_transactions, write
+
+
+class TestServiceTiming:
+    def test_per_word_wait_states(self, sim):
+        node = make_node(sim, width=4)
+        add_memory(sim, node, wait_states=1, width=4)
+        port = node.connect_initiator("ip0", max_outstanding=1)
+        txn = read(0x0, beats=8, beat_bytes=4)
+        run_transactions(sim, port, [txn])
+        period = node.clock.period_ps
+        # 8 words x (1 + 1 ws) cycles of array time, + request + delivery.
+        service = txn.t_done - txn.t_accepted
+        assert service >= 16 * period
+
+    def test_byte_based_service(self):
+        """A burst of narrow beats costs the same array time as the same
+        bytes in wide beats (the memory is byte-based, not beat-based)."""
+        def service_time(beats, beat_bytes):
+            sim = Simulator()
+            node = make_node(sim, width=8)
+            add_memory(sim, node, wait_states=1, width=8)
+            port = node.connect_initiator("ip0", max_outstanding=1)
+            txn = read(0x0, beats=beats, beat_bytes=beat_bytes)
+            run_transactions(sim, port, [txn])
+            return txn.t_done - txn.t_accepted
+
+        narrow = service_time(beats=8, beat_bytes=4)   # 32 bytes
+        wide = service_time(beats=4, beat_bytes=8)     # 32 bytes
+        assert narrow == pytest.approx(wide, rel=0.25)
+
+    def test_zero_wait_states_streams_full_rate(self, sim):
+        node = make_node(sim)
+        add_memory(sim, node, wait_states=0)
+        port = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 32) for i in range(8)]
+        run_transactions(sim, port, txns)
+        assert node.resp_channel.utilization() > 0.85
+
+
+class TestAccessLatency:
+    def test_latency_delays_first_data(self):
+        def first_data(latency):
+            sim = Simulator()
+            node = make_node(sim)
+            add_memory(sim, node, wait_states=1,
+                       access_latency_cycles=latency)
+            port = node.connect_initiator("ip0", max_outstanding=1)
+            txn = read(0x0)
+            run_transactions(sim, port, [txn])
+            return txn.t_first_data - txn.t_accepted
+
+        assert first_data(16) - first_data(0) == \
+            16 * 5_000  # 16 cycles at 200 MHz
+
+    def test_pipelining_overlaps_latency_phases(self):
+        """A pipelined interface overlaps access latencies; a single-slot
+        one serialises them (the Fig. 4 mechanism)."""
+        def elapsed(pipeline_depth, request_depth):
+            sim = Simulator()
+            node = make_node(sim)
+            add_memory(sim, node, wait_states=1, access_latency_cycles=12,
+                       pipeline_depth=pipeline_depth,
+                       request_depth=request_depth)
+            port = node.connect_initiator("ip0", max_outstanding=8)
+            txns = [read(i * 32) for i in range(8)]
+            return run_transactions(sim, port, txns)
+
+        assert elapsed(4, 4) < 0.7 * elapsed(1, 1)
+
+    def test_data_streams_in_arrival_order(self, sim):
+        node = make_node(sim)
+        add_memory(sim, node, wait_states=1, access_latency_cycles=8,
+                   pipeline_depth=4, request_depth=4)
+        port = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 32) for i in range(6)]
+        run_transactions(sim, port, txns)
+        first_data = [t.t_first_data for t in txns]
+        assert first_data == sorted(first_data)
+
+
+class TestWrites:
+    def test_nonposted_write_acknowledged(self, sim):
+        node = make_node(sim)
+        __, memory = add_memory(sim, node, wait_states=2)
+        port = node.connect_initiator("ip0", max_outstanding=1)
+        txn = write(0x0, posted=False)
+        run_transactions(sim, port, [txn])
+        assert txn.t_done > txn.t_accepted
+        assert memory.writes.value == 1
+
+    def test_counters(self, sim):
+        node = make_node(sim)
+        __, memory = add_memory(sim, node)
+        port = node.connect_initiator("ip0", max_outstanding=2)
+        txns = [read(0x0), write(0x100), read(0x200)]
+        run_transactions(sim, port, txns)
+        assert memory.reads.value == 2
+        assert memory.writes.value == 1
+        assert memory.beats_served.value > 0
+
+
+class TestValidation:
+    def test_bad_parameters_rejected(self, sim):
+        node = make_node(sim)
+        with pytest.raises(ValueError):
+            add_memory(sim, node, wait_states=-1)
+        with pytest.raises(ValueError):
+            add_memory(sim, node, base=0x200000, access_latency_cycles=-1)
+        with pytest.raises(ValueError):
+            add_memory(sim, node, base=0x400000, pipeline_depth=0)

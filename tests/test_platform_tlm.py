@@ -1,0 +1,61 @@
+"""Tests for the TLM (transaction-level) platform abstraction tier."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.platforms import MemoryConfig, PlatformConfig, build_platform, quick_config
+
+
+class TestConfig:
+    def test_tlm_requires_collapsed(self):
+        with pytest.raises(ValueError, match="collapsed"):
+            PlatformConfig(abstraction="tlm", topology="distributed")
+
+    def test_unknown_abstraction(self):
+        with pytest.raises(ValueError):
+            PlatformConfig(abstraction="rtl")
+
+
+class TestExecution:
+    def _run(self, abstraction, **overrides):
+        sim = Simulator()
+        config = quick_config(topology="collapsed", abstraction=abstraction,
+                              **overrides)
+        platform = build_platform(sim, config)
+        result = platform.run(max_ps=10**13)
+        return sim, result
+
+    def test_tlm_platform_completes(self):
+        __, result = self._run("tlm")
+        assert result.transactions > 0
+        assert result.execution_time_ps > 0
+
+    def test_tlm_tracks_cycle_accurate(self):
+        __, cycle = self._run("cycle")
+        __, tlm = self._run("tlm")
+        assert tlm.execution_time_ps == pytest.approx(
+            cycle.execution_time_ps, rel=0.3)
+
+    def test_tlm_uses_fewer_events(self):
+        sim_cycle, __ = self._run("cycle")
+        sim_tlm, __ = self._run("tlm")
+        assert sim_tlm.processed_events < sim_cycle.processed_events
+
+    def test_tlm_with_lmi_service_model(self):
+        __, result = self._run("tlm", memory=MemoryConfig(kind="lmi"))
+        assert result.transactions > 0
+
+    def test_tlm_with_cpu(self):
+        from repro.platforms import CpuConfig
+
+        __, result = self._run("tlm", cpu=CpuConfig(enabled=True, blocks=30))
+        # quick_config scales traffic (and CPU blocks) down by its
+        # traffic_scale; the point is that the CPU ran to completion.
+        assert result.extra["cpu_blocks"] >= 1.0
+        assert result.extra["cpu_dcache_miss_rate"] > 0.0
+
+    def test_loader_round_trips_abstraction(self):
+        from repro.platforms.loader import config_from_dict, config_to_dict
+
+        config = quick_config(topology="collapsed", abstraction="tlm")
+        assert config_from_dict(config_to_dict(config)) == config

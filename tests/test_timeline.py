@@ -1,0 +1,116 @@
+"""Tests for the timeline sampler."""
+
+import pytest
+
+from repro.analysis.timeline import (
+    TimelineSampler,
+    busy_probe,
+    counter_probe,
+    fifo_level_probe,
+)
+from repro.core import Counter, Fifo, Simulator
+
+from .helpers import add_memory, drive, make_node, read
+
+
+class TestSampling:
+    def test_fixed_period_samples(self, sim):
+        counter = Counter("c")
+        sampler = TimelineSampler(sim, interval_ps=100, horizon_ps=500,
+                                  probes={"c": counter_probe(counter)})
+
+        def work():
+            for _ in range(5):
+                counter.add(2)
+                yield sim.timeout(100)
+
+        sim.process(work())
+        sim.run()
+        assert len(sampler.samples) == 5
+        times = [t for t, __ in sampler.samples]
+        assert times == [100, 200, 300, 400, 500]
+
+    def test_series_and_deltas(self, sim):
+        counter = Counter("c")
+        sampler = TimelineSampler(sim, 100, 300,
+                                  probes={"c": counter_probe(counter)})
+
+        def work():
+            counter.add(3)
+            yield sim.timeout(150)
+            counter.add(5)
+            yield sim.timeout(150)
+
+        sim.process(work())
+        sim.run()
+        assert sampler.series("c") == [(100, 3.0), (200, 8.0), (300, 8.0)]
+        assert sampler.deltas("c") == [(100, 3.0), (200, 5.0), (300, 0.0)]
+
+    def test_unknown_probe_rejected(self, sim):
+        sampler = TimelineSampler(sim, 10, 100,
+                                  probes={"x": lambda: 0.0})
+        with pytest.raises(KeyError):
+            sampler.series("y")
+
+    def test_stop(self, sim):
+        sampler = TimelineSampler(sim, 100, 10_000,
+                                  probes={"x": lambda: 1.0})
+
+        def stopper():
+            yield sim.timeout(250)
+            sampler.stop()
+
+        sim.process(stopper())
+        sim.run()
+        assert len(sampler.samples) == 2  # samples at 100 and 200 only
+
+    def test_validation(self, sim):
+        with pytest.raises(ValueError):
+            TimelineSampler(sim, 0, 100, probes={"x": lambda: 0.0})
+        with pytest.raises(ValueError):
+            TimelineSampler(sim, 10, 100, probes={})
+
+
+class TestSparkline:
+    def test_renders_profile(self, sim):
+        values = iter([0, 1, 5, 10, 5, 1, 0, 0])
+        sampler = TimelineSampler(sim, 10, 80,
+                                  probes={"v": lambda: next(values)})
+        sim.run()
+        line = sampler.sparkline("v")
+        assert len(line) == 8
+        assert line[3] == "@"  # the peak uses the densest glyph
+        assert line[0] == " "
+
+    def test_empty_series(self, sim):
+        sampler = TimelineSampler(sim, 1_000, 10_000,
+                                  probes={"v": lambda: 0.0})
+        assert sampler.sparkline("v") == "(no samples)"
+
+    def test_downsampling_caps_width(self, sim):
+        sampler = TimelineSampler(sim, 10, 2_000,
+                                  probes={"v": lambda: 1.0})
+        sim.run()
+        assert len(sampler.sparkline("v", width=40)) == 40
+
+
+class TestSystemProbes:
+    def test_bandwidth_over_time_at_memory(self, sim):
+        node = make_node(sim)
+        port, memory = add_memory(sim, node, wait_states=1)
+        sampler = TimelineSampler(
+            sim, interval_ps=200_000, horizon_ps=8_000_000,
+            probes={
+                "resp_busy": busy_probe(node.resp_channel),
+                "beats": counter_probe(memory.beats_served),
+                "fifo": fifo_level_probe(port.request_fifo),
+            })
+        ip = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 32) for i in range(12)]
+        drive(sim, ip, txns)
+        sim.run()
+        rates = [v for __, v in sampler.deltas("beats")]
+        assert sum(rates) == memory.beats_served.value
+        assert max(rates) > 0
+        # Activity then quiet: the rate series decays to zero.
+        assert rates[-1] == 0.0

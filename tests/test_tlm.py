@@ -1,0 +1,128 @@
+"""Tests for the transaction-level (approximately-timed) fabric tier."""
+
+import pytest
+
+from repro.core import Simulator
+from repro.interconnect import AddressRange, StbusType
+from repro.interconnect.tlm import (
+    SdramServiceModel,
+    ServiceEstimate,
+    SramServiceModel,
+    TlmNode,
+)
+
+from .helpers import add_memory, drive, make_node, read, run_transactions, write
+
+
+def make_tlm(sim, wait_states=1, width=4, freq_mhz=200):
+    clk = sim.clock(freq_mhz=freq_mhz, name="tlm_clk")
+    node = TlmNode(sim, "tlm", clk, data_width_bytes=width)
+    model = SramServiceModel(clk, wait_states=wait_states, width_bytes=width)
+    node.add_tlm_target("mem", AddressRange(0, 1 << 20), model)
+    return node
+
+
+class TestServiceModels:
+    def test_estimate_validation(self):
+        with pytest.raises(ValueError):
+            ServiceEstimate(first_data_ps=-1, occupancy_ps=10)
+        with pytest.raises(ValueError):
+            ServiceEstimate(first_data_ps=20, occupancy_ps=10)
+
+    def test_sram_model_scales_with_bytes(self, sim):
+        clk = sim.clock(freq_mhz=200)
+        model = SramServiceModel(clk, wait_states=1, width_bytes=4)
+        small = model.estimate(read(0, beats=4))
+        large = model.estimate(read(0, beats=16))
+        assert large.occupancy_ps == 4 * small.occupancy_ps
+
+    def test_sdram_model_headline_latency(self, sim):
+        clk = sim.clock(freq_mhz=166)
+        model = SdramServiceModel(clk, first_read_cycles=11,
+                                  row_hit_fraction=1.0)
+        estimate = model.estimate(read(0, beats=8, beat_bytes=8))
+        assert estimate.first_data_ps == clk.to_ps(11)
+
+    def test_sdram_model_validation(self, sim):
+        clk = sim.clock(freq_mhz=166)
+        with pytest.raises(ValueError):
+            SdramServiceModel(clk, row_hit_fraction=1.5)
+
+
+class TestTlmNode:
+    def test_transactions_complete(self, sim):
+        node = make_tlm(sim)
+        port = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 64) for i in range(10)]
+        run_transactions(sim, port, txns)
+        assert all(t.t_done is not None for t in txns)
+        assert node.tlm_targets[0].served == 10
+
+    def test_posted_write_completes_at_grant(self, sim):
+        node = make_tlm(sim)
+        port = node.connect_initiator("ip0", max_outstanding=1)
+        txn = write(0x40, posted=True)
+        run_transactions(sim, port, [txn])
+        assert txn.t_done == txn.t_accepted
+
+    def test_overlapping_targets_rejected(self, sim):
+        node = make_tlm(sim)
+        clk = node.clock
+        with pytest.raises(ValueError):
+            node.add_tlm_target("dup", AddressRange(0, 64),
+                                SramServiceModel(clk))
+
+    def test_unmapped_address_rejected(self, sim):
+        node = make_tlm(sim)
+        with pytest.raises(ValueError):
+            node.tlm_route(0xFFFF_FFFF)
+
+    def test_target_serialisation(self, sim):
+        node = make_tlm(sim, wait_states=4)
+        port = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 64) for i in range(4)]
+        run_transactions(sim, port, txns)
+        firsts = sorted(t.t_first_data for t in txns)
+        # Service windows do not overlap: first-data times are spaced by at
+        # least one occupancy window apart after the first.
+        occupancy = SramServiceModel(node.clock, wait_states=4,
+                                     width_bytes=4).estimate(txns[0])
+        for a, b in zip(firsts, firsts[1:]):
+            assert b - a >= occupancy.occupancy_ps
+
+
+class TestCrossValidation:
+    """The TLM tier must track the cycle-accurate tier's trends."""
+
+    def _cycle_accurate(self, n, wait_states):
+        sim = Simulator()
+        node = make_node(sim, bus_type=StbusType.T2)
+        add_memory(sim, node, wait_states=wait_states, width=4)
+        port = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 32) for i in range(n)]
+        end = run_transactions(sim, port, txns)
+        return end, sim.processed_events
+
+    def _tlm(self, n, wait_states):
+        sim = Simulator()
+        node = make_tlm(sim, wait_states=wait_states)
+        port = node.connect_initiator("ip0", max_outstanding=4)
+        txns = [read(i * 32) for i in range(n)]
+        end = run_transactions(sim, port, txns)
+        return end, sim.processed_events
+
+    def test_execution_time_within_tolerance(self):
+        ca, __ = self._cycle_accurate(40, wait_states=1)
+        tlm, __ = self._tlm(40, wait_states=1)
+        assert tlm == pytest.approx(ca, rel=0.2)
+
+    def test_wait_state_trend_preserved(self):
+        ca_ratio = self._cycle_accurate(30, 4)[0] / \
+            self._cycle_accurate(30, 1)[0]
+        tlm_ratio = self._tlm(30, 4)[0] / self._tlm(30, 1)[0]
+        assert tlm_ratio == pytest.approx(ca_ratio, rel=0.25)
+
+    def test_tlm_processes_fewer_events(self):
+        __, ca_events = self._cycle_accurate(40, wait_states=1)
+        __, tlm_events = self._tlm(40, wait_states=1)
+        assert tlm_events < ca_events / 2

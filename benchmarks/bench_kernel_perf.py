@@ -5,59 +5,29 @@ microbenchmarks track our kernel's raw event throughput and the cost of a
 full platform run, so abstraction-level trade-offs (see
 ``examples/abstraction_levels.py``) rest on measured numbers.
 
+The scenarios themselves live in :mod:`repro.bench` — the same functions the
+``repro bench`` harness times into ``BENCH_kernel.json`` — so the event-count
+assertions here guard the harness's determinism too.
+
 Unlike the figure benchmarks these are *performance* benchmarks: multiple
 rounds, wall-clock statistics.
 """
 
 import pytest
 
-from repro.core import Fifo, Simulator
-from repro.platforms import build_platform, quick_config
+from repro.bench import clock_edges, fifo_pipeline, platform_run, timeout_storm
 
 
 def _timeout_storm():
-    sim = Simulator()
-
-    def pinger():
-        for _ in range(2_000):
-            yield sim.timeout(7)
-
-    for _ in range(4):
-        sim.process(pinger())
-    sim.run()
-    return sim.processed_events
+    return timeout_storm()[0]
 
 
 def _fifo_pipeline():
-    sim = Simulator()
-    stages = [Fifo(sim, 4, name=f"s{i}") for i in range(4)]
-
-    def feeder():
-        for i in range(1_000):
-            yield stages[0].put(i)
-
-    def mover(src, dst):
-        while True:
-            item = yield src.get()
-            yield dst.put(item)
-
-    def sink():
-        for _ in range(1_000):
-            yield stages[-1].get()
-
-    sim.process(feeder())
-    for a, b in zip(stages, stages[1:]):
-        sim.process(mover(a, b))
-    sim.process(sink())
-    sim.run(until=10_000_000_000, max_events=10_000_000)
-    return sim.processed_events
+    return fifo_pipeline()[0]
 
 
 def _platform_run():
-    sim = Simulator()
-    platform = build_platform(sim, quick_config())
-    platform.run(max_ps=10**13)
-    return sim.processed_events
+    return platform_run()[0]
 
 
 def test_kernel_event_throughput(benchmark):
@@ -69,6 +39,12 @@ def test_kernel_event_throughput(benchmark):
 def test_fifo_pipeline_throughput(benchmark):
     events = benchmark(_fifo_pipeline)
     assert events > 4_000
+
+
+def test_clock_edge_throughput(benchmark):
+    events = benchmark(lambda: clock_edges()[0])
+    # 3 x (bootstrap + 3000 edges + completion) events.
+    assert events == 9_006
 
 
 def test_platform_events_per_run(benchmark):

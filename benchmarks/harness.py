@@ -1,0 +1,47 @@
+"""Performance regression harness — ``BENCH_kernel.json`` writer.
+
+Thin pytest front-end over :mod:`repro.bench`: the full tier times every
+kernel scenario at scale 1.0 and refreshes ``BENCH_kernel.json`` at the
+repository root, giving each PR a machine-readable perf trajectory to
+compare against.  The ``bench_smoke`` tier runs the same scenarios at a
+reduced scale with a single repetition — seconds, not minutes — so CI can
+assert the harness itself still works without paying for stable numbers.
+
+Usage::
+
+    python -m pytest benchmarks/harness.py -q                  # full, writes JSON
+    python -m pytest benchmarks/harness.py -q -m bench_smoke   # smoke only
+    python -m repro bench                                      # CLI equivalent
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import SCENARIOS, run_benchmarks, write_results
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_kernel.json"
+
+
+@pytest.mark.bench_smoke
+def test_harness_smoke():
+    """Every scenario runs, is deterministic, and reports sane numbers."""
+    results = run_benchmarks(repeats=1, scale=0.05)
+    assert set(results) == set(SCENARIOS)
+    for name, row in results.items():
+        assert row["events"] > 0, name
+        assert row["wall_s"] > 0, name
+        assert row["events_per_sec"] > 0, name
+        # fifo_pipeline finishes at t=0 (zero-latency FIFOs, no clock).
+        assert row["sim_time_ps"] >= 0, name
+
+
+def test_full_benchmarks_write_bench_file():
+    """Time the real scenarios and refresh BENCH_kernel.json."""
+    results = run_benchmarks(repeats=5)
+    write_results(str(BENCH_FILE), results)
+    # The determinism anchors bench_kernel_perf.py asserts per-scenario.
+    assert results["timeout_storm"]["events"] == 8_008
+    assert results["clock_edges"]["events"] == 9_006
+    print(f"\nwrote {BENCH_FILE}")

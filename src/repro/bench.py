@@ -1,0 +1,187 @@
+"""Kernel performance scenarios and the regression harness behind them.
+
+The paper's virtual platform earns its keep by being *fast enough* to sweep
+large design spaces; this module keeps us honest about that.  It defines the
+canonical kernel throughput scenarios (the same ones
+``benchmarks/bench_kernel_perf.py`` asserts determinism on), times them with
+``time.perf_counter`` and emits a machine-readable ``BENCH_kernel.json`` so
+every PR leaves a performance trajectory behind it.
+
+Schema of the output file — one entry per scenario::
+
+    {
+      "timeout_storm": {
+        "wall_s": 0.0081,          # best-of-N wall-clock seconds
+        "events": 8008,            # kernel events processed (determinism probe)
+        "events_per_sec": 988642.0,
+        "sim_time_ps": 14000       # simulated time covered
+      },
+      ...
+    }
+
+Run it via ``repro bench`` (see ``docs/PERFORMANCE.md``) or programmatically
+through :func:`run_benchmarks`.  Every scenario returns
+``(processed_events, sim_time_ps)`` and must be deterministic: identical
+event counts across runs and across kernel refactors are the regression
+guard that a "faster" kernel still simulates the same platform.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Iterable, Optional, Tuple
+
+from .core import Fifo, Simulator
+
+#: A scenario callable: ``fn(scale) -> (processed_events, sim_time_ps)``.
+Scenario = Callable[[float], Tuple[int, int]]
+
+
+def timeout_storm(scale: float = 1.0) -> Tuple[int, int]:
+    """Raw event churn: four processes racing through bare timeouts.
+
+    Measures the kernel's floor cost per event — Timeout construction, heap
+    traffic and process resumption, nothing else.
+    """
+    rounds = max(1, int(2_000 * scale))
+    sim = Simulator()
+
+    def pinger():
+        for _ in range(rounds):
+            yield sim.timeout(7)
+
+    for _ in range(4):
+        sim.process(pinger())
+    sim.run()
+    return sim.processed_events, sim.now
+
+
+def fifo_pipeline(scale: float = 1.0) -> Tuple[int, int]:
+    """Items flowing through a 4-stage bounded FIFO pipeline.
+
+    Exercises the blocking put/get hand-off — the pattern every bus queue,
+    bridge FIFO and LMI input queue in the platform is built from.
+    """
+    items = max(1, int(1_000 * scale))
+    sim = Simulator()
+    stages = [Fifo(sim, 4, name=f"s{i}") for i in range(4)]
+
+    def feeder():
+        for i in range(items):
+            yield stages[0].put(i)
+
+    def mover(src, dst):
+        while True:
+            item = yield src.get()
+            yield dst.put(item)
+
+    def sink():
+        for _ in range(items):
+            yield stages[-1].get()
+
+    sim.process(feeder())
+    for a, b in zip(stages, stages[1:]):
+        sim.process(mover(a, b))
+    sim.process(sink())
+    sim.run(until=10_000_000_000, max_events=10_000_000)
+    return sim.processed_events, sim.now
+
+
+def clock_edges(scale: float = 1.0) -> Tuple[int, int]:
+    """Multi-domain clock-edge waits: the pooled-timeout fast path.
+
+    Three processes spinning on 400/250/166 MHz edges — the steady-state
+    shape of every cycle-accurate bus model in the platform.
+    """
+    edges = max(1, int(3_000 * scale))
+    sim = Simulator()
+    clocks = [sim.clock(freq_mhz=mhz, name=f"clk{mhz}")
+              for mhz in (400, 250, 166)]
+
+    def spinner(clk):
+        for _ in range(edges):
+            yield clk.edge()
+
+    for clk in clocks:
+        sim.process(spinner(clk))
+    sim.run()
+    return sim.processed_events, sim.now
+
+
+def platform_run(scale: float = 1.0) -> Tuple[int, int]:
+    """A full reference-platform run (quick configuration).
+
+    End-to-end cost with the bus/memory models in the loop: the closest
+    proxy for what a design-space sweep iteration costs.  ``scale`` is
+    ignored — the quick configuration is already the smallest deterministic
+    platform workload.
+    """
+    from .platforms import build_platform, quick_config
+
+    sim = Simulator()
+    platform = build_platform(sim, quick_config())
+    platform.run(max_ps=10**13)
+    return sim.processed_events, sim.now
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "timeout_storm": timeout_storm,
+    "fifo_pipeline": fifo_pipeline,
+    "clock_edges": clock_edges,
+    "platform_run": platform_run,
+}
+
+
+def run_benchmarks(names: Optional[Iterable[str]] = None, repeats: int = 3,
+                   scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+    """Time the named scenarios (default: all) and return the result table.
+
+    Each scenario gets one untimed warm-up run, then ``repeats`` timed runs;
+    the best wall-clock is reported (the noise floor of a busy machine only
+    ever slows a run down).  Raises ``KeyError`` on an unknown scenario
+    name.
+    """
+    selected = list(names) if names is not None else list(SCENARIOS)
+    unknown = [name for name in selected if name not in SCENARIOS]
+    if unknown:
+        raise KeyError(f"unknown bench scenario(s): {unknown}; "
+                       f"available: {sorted(SCENARIOS)}")
+    results: Dict[str, Dict[str, float]] = {}
+    for name in selected:
+        fn = SCENARIOS[name]
+        events, sim_time = fn(scale)  # warm-up (and the determinism sample)
+        best = float("inf")
+        for _ in range(max(1, repeats)):
+            start = time.perf_counter()
+            run_events, run_sim_time = fn(scale)
+            elapsed = time.perf_counter() - start
+            if (run_events, run_sim_time) != (events, sim_time):
+                raise RuntimeError(
+                    f"scenario {name!r} is non-deterministic: "
+                    f"{(run_events, run_sim_time)} != {(events, sim_time)}")
+            best = min(best, elapsed)
+        results[name] = {
+            "wall_s": best,
+            "events": events,
+            "events_per_sec": events / best if best > 0 else float("inf"),
+            "sim_time_ps": sim_time,
+        }
+    return results
+
+
+def write_results(path: str, results: Dict[str, Dict[str, float]]) -> None:
+    """Persist a :func:`run_benchmarks` table as ``BENCH_kernel.json``."""
+    with open(path, "w") as fh:
+        json.dump(results, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def format_results(results: Dict[str, Dict[str, float]]) -> str:
+    """Human-readable rendering of a result table."""
+    lines = [f"{'scenario':<16}{'events':>10}{'wall_s':>12}"
+             f"{'events/sec':>14}{'sim_time_ps':>16}"]
+    for name, row in results.items():
+        lines.append(f"{name:<16}{row['events']:>10,.0f}{row['wall_s']:>12.4f}"
+                     f"{row['events_per_sec']:>14,.0f}{row['sim_time_ps']:>16,.0f}")
+    return "\n".join(lines)

@@ -6,6 +6,7 @@
     python -m repro run fig5 --scale 0.5         # run one, print the figure
     python -m repro run all                      # the whole evaluation
     python -m repro platform my_platform.json    # simulate a config file
+    python -m repro bench                        # kernel perf -> BENCH_kernel.json
 
 Each experiment prints the paper-style report and the outcome of its shape
 checks; the process exits non-zero if any claim fails, so the CLI is
@@ -159,6 +160,22 @@ def cmd_platform(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    from . import bench
+
+    names = args.scenario or None
+    try:
+        results = bench.run_benchmarks(names=names, repeats=args.repeats,
+                                       scale=args.bench_scale)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 2
+    print(bench.format_results(results))
+    bench.write_results(args.output, results)
+    print(f"\nwrote {args.output}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,6 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="simulation bound in microseconds")
     plat_parser.add_argument("--csv", help="write the result row to CSV")
     plat_parser.set_defaults(func=cmd_platform)
+
+    bench_parser = sub.add_parser(
+        "bench", help="run the kernel performance scenarios and write "
+                      "BENCH_kernel.json")
+    bench_parser.add_argument("--scenario", action="append",
+                              help="scenario to run (repeatable; default all)")
+    bench_parser.add_argument("--repeats", type=int, default=5,
+                              help="timed repetitions per scenario "
+                                   "(best-of; default 5)")
+    bench_parser.add_argument("--bench-scale", type=float, default=1.0,
+                              help="workload scale factor (default 1.0; "
+                                   "smoke tiers use < 1)")
+    bench_parser.add_argument("--output", default="BENCH_kernel.json",
+                              help="result file (default BENCH_kernel.json)")
+    bench_parser.set_defaults(func=cmd_bench)
     return parser
 
 

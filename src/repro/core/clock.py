@@ -52,6 +52,10 @@ class Clock:
         self.name = name
         self.period_ps = int(period_ps)
         self.phase_ps = int(phase_ps)
+        # Event labels are precomputed: an f-string per edge wait is pure
+        # overhead on the hottest allocation site in the simulator.
+        self._edge_name = name + ".edge"
+        self._delay_name = name + ".delay"
 
     # ------------------------------------------------------------------
     @property
@@ -87,29 +91,48 @@ class Clock:
     # events
     # ------------------------------------------------------------------
     def edge(self, priority: int = PRIORITY_NORMAL) -> Timeout:
-        """Event firing at the next strictly-future rising edge."""
-        return Timeout(self.sim, self.next_edge_time() - self.sim.now,
-                       priority=priority, name=f"{self.name}.edge")
+        """Event firing at the next strictly-future rising edge.
+
+        The returned timeout comes from the simulator's reuse pool: yield
+        it (or attach a callback) and forget it.  Holding one across a
+        later edge wait is not supported — see
+        :meth:`~repro.core.kernel.Simulator.pooled_timeout`.
+        """
+        sim = self.sim
+        now = sim._now
+        phase = self.phase_ps
+        # Inlined next_edge_time(): one frame less per edge wait, and edge
+        # waits are most of what a cycle-accurate platform schedules.
+        if now < phase:
+            delay = phase - now
+        else:
+            period = self.period_ps
+            delay = period - (now - phase) % period
+        return sim.pooled_timeout(delay, priority=priority,
+                                  name=self._edge_name)
 
     def edges(self, n: int, priority: int = PRIORITY_NORMAL) -> Timeout:
-        """Event firing ``n`` rising edges from now (``n`` >= 1)."""
+        """Event firing ``n`` rising edges from now (``n`` >= 1).
+
+        Pooled, like :meth:`edge`."""
         if n < 1:
             raise ValueError(f"edges() needs n >= 1, got {n}")
+        sim = self.sim
         target = self.next_edge_time() + (n - 1) * self.period_ps
-        return Timeout(self.sim, target - self.sim.now,
-                       priority=priority, name=f"{self.name}.edges({n})")
+        return sim.pooled_timeout(target - sim._now, priority=priority,
+                                  name=self._edge_name)
 
     def delay(self, cycles: int) -> Timeout:
         """Event firing exactly ``cycles`` periods from *now* (not aligned).
 
         Use :meth:`edges` for edge-aligned waits; this is for modelling
         latencies quoted in cycles that start mid-cycle (e.g. combinational
-        paths crossing a node).
+        paths crossing a node).  Pooled, like :meth:`edge`.
         """
         if cycles < 0:
             raise ValueError(f"negative cycle delay {cycles}")
-        return Timeout(self.sim, cycles * self.period_ps,
-                       name=f"{self.name}.delay({cycles})")
+        return self.sim.pooled_timeout(cycles * self.period_ps,
+                                       name=self._delay_name)
 
     def to_ps(self, cycles: int) -> int:
         """Convert a cycle count to picoseconds."""

@@ -18,11 +18,20 @@ Events move through three states:
 
 All ordering in the kernel is deterministic: events scheduled for the same
 simulation time are processed in ``(time, priority, sequence)`` order, where
-``sequence`` is a global monotonically increasing counter.
+``sequence`` is a per-simulator monotonically increasing integer.
+
+Performance note: this module is the simulator's innermost layer — every
+simulated transaction decomposes into dozens of these objects.  The hot
+constructors (:class:`Timeout`, :meth:`Event.succeed`) therefore schedule
+straight onto the simulator heap instead of going through
+``Simulator._enqueue``, and :class:`Process` resumption appends its callback
+directly.  Cold paths (``fail``, ``interrupt``, process completion) keep the
+method-call layering for clarity.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -89,11 +98,13 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event successfully with ``value`` at the current time."""
-        if self.triggered:
+        if self._value is not _PENDING:
             raise EventError(f"event {self!r} already triggered")
         self._ok = True
         self._value = value
-        self.sim._enqueue(self, 0, priority)
+        sim = self.sim
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._queue, (sim._now, priority, sequence, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
@@ -148,11 +159,37 @@ class Timeout(Event):
                  priority: int = PRIORITY_NORMAL, name: str = "") -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay {delay}")
-        super().__init__(sim, name=name)
-        self.delay = delay
-        self._ok = True
+        # Flattened Event.__init__ + Simulator._enqueue: a Timeout per clock
+        # edge wait makes this the most-executed constructor in the system.
+        self.sim = sim
+        self.name = name
+        self.callbacks = []
         self._value = value
-        sim._enqueue(self, delay, priority)
+        self._ok = True
+        self._processed = False
+        self.delay = delay
+        sim._sequence = sequence = sim._sequence + 1
+        heappush(sim._queue, (sim._now + delay, priority, sequence, self))
+
+
+class _PooledTimeout(Timeout):
+    """A :class:`Timeout` owned by its simulator's reuse pool.
+
+    Only created through :meth:`Simulator.pooled_timeout`.  After the kernel
+    has run its callbacks the instance is returned to the pool and may be
+    re-armed for a later wait, so holders must not inspect it once a new
+    wait could have been issued (clock-edge waits are yielded and dropped,
+    which is exactly the safe pattern).  Wrapping one in a
+    :class:`Condition` pins it out of the pool, so ``all_of``/``any_of``
+    over clock edges stay sound.
+    """
+
+    __slots__ = ("_pinned",)
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None,
+                 priority: int = PRIORITY_NORMAL, name: str = "") -> None:
+        super().__init__(sim, delay, value=value, priority=priority, name=name)
+        self._pinned = False
 
 
 class Process(Event):
@@ -160,7 +197,7 @@ class Process(Event):
     generator returns (value = return value) or raises (failure).
     """
 
-    __slots__ = ("generator", "_target", "_resume_cb")
+    __slots__ = ("generator", "_send", "_throw", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any],
                  name: str = "") -> None:
@@ -168,6 +205,9 @@ class Process(Event):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self.generator = generator
+        # Pre-bound: _resume runs once per processed event in busy models.
+        self._send = generator.send
+        self._throw = generator.throw
         #: The event this process currently waits on (None when running/finished).
         self._target: Optional[Event] = None
         self._resume_cb = self._resume
@@ -196,16 +236,16 @@ class Process(Event):
     # ------------------------------------------------------------------
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the trigger's outcome."""
-        if self.triggered:
+        if self._value is not _PENDING:
             # Interrupted-then-completed race; nothing to resume.
             return
         self._target = None
         event: Optional[Event]
         try:
             if trigger._ok:
-                event = self.generator.send(trigger._value)
+                event = self._send(trigger._value)
             else:
-                event = self.generator.throw(trigger._value)
+                event = self._throw(trigger._value)
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
@@ -223,7 +263,12 @@ class Process(Event):
             raise EventError(
                 f"process {self.name!r} yielded non-event {event!r}")
         self._target = event
-        event.add_callback(self._resume_cb)
+        # Inline add_callback: one call per process step adds up.
+        callbacks = event.callbacks
+        if callbacks is None:
+            self._resume_cb(event)
+        else:
+            callbacks.append(self._resume_cb)
 
 
 class Interrupt(Exception):
@@ -245,6 +290,10 @@ class Condition(Event):
         for event in self.events:
             if event.sim is not sim:
                 raise EventError("condition mixes events from different simulators")
+            if event.__class__ is _PooledTimeout:
+                # _collect reads children after they were processed; pin the
+                # event so the pool can never re-arm it under us.
+                event._pinned = True
         self._remaining = len(self.events)
         if not self.events:
             self.succeed(self._collect())

@@ -24,9 +24,10 @@ occupancy over time without per-cycle sampling.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappush
 from typing import Any, Callable, Deque, Generic, List, Optional, Tuple, TypeVar
 
-from .events import Event
+from .events import Event, PRIORITY_NORMAL
 from .kernel import Simulator
 
 T = TypeVar("T")
@@ -51,6 +52,9 @@ class Fifo(Generic[T]):
         self.sim = sim
         self.name = name
         self.capacity = capacity
+        # Precomputed event labels keep f-strings out of put()/get().
+        self._put_name = name + ".put"
+        self._get_name = name + ".get"
         self._items: Deque[T] = deque()
         self._put_waiters: Deque[Tuple[Event, T]] = deque()
         self._get_waiters: Deque[Event] = deque()
@@ -99,19 +103,27 @@ class Fifo(Generic[T]):
     # ------------------------------------------------------------------
     def put(self, item: T) -> Event:
         """Event completing once ``item`` is stored."""
-        event = Event(self.sim, name=f"{self.name}.put")
-        if not self.is_full and not self._put_waiters:
+        sim = self.sim
+        event = Event(sim, name=self._put_name)
+        if len(self._items) < self.capacity and not self._put_waiters:
             self._store(item)
-            event.succeed()
+            # Inlined event.succeed(): the event is fresh, so the
+            # double-trigger guard cannot fire; mirror kernel._enqueue.
+            event._value = None
+            sim._sequence = sequence = sim._sequence + 1
+            heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sequence, event))
         else:
             self._put_waiters.append((event, item))
         return event
 
     def get(self) -> Event:
         """Event completing with the next item."""
-        event = Event(self.sim, name=f"{self.name}.get")
+        sim = self.sim
+        event = Event(sim, name=self._get_name)
         if self._items:
-            event.succeed(self._take())
+            event._value = self._take()
+            sim._sequence = sequence = sim._sequence + 1
+            heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sequence, event))
         else:
             self._get_waiters.append(event)
         return event
@@ -174,28 +186,58 @@ class Fifo(Generic[T]):
     # internals
     # ------------------------------------------------------------------
     def _store(self, item: T) -> None:
-        before = len(self._items)
-        self._items.append(item)
-        self._level_changed(before)
-        self._serve_waiting_gets()
+        items = self._items
+        before = len(items)
+        items.append(item)
+        # Inlined _level_changed(): store/take run twice per transferred
+        # item, so the accounting is flattened and the (usually empty)
+        # waiter scans are guarded instead of unconditionally called.
+        now = self.sim._now
+        span = now - self._last_change_ps
+        if span > 0:
+            level_time = self._level_time
+            level_time[before] = level_time.get(before, 0) + span
+            self._last_change_ps = now
+        if self._watchers:
+            for fn in self._watchers:
+                fn(now, before, len(items))
+        if self._get_waiters:
+            self._serve_waiting_gets()
 
     def _take(self) -> T:
-        before = len(self._items)
-        item = self._items.popleft()
-        self._level_changed(before)
-        self._admit_waiting_puts()
+        items = self._items
+        before = len(items)
+        item = items.popleft()
+        now = self.sim._now
+        span = now - self._last_change_ps
+        if span > 0:
+            level_time = self._level_time
+            level_time[before] = level_time.get(before, 0) + span
+            self._last_change_ps = now
+        if self._watchers:
+            for fn in self._watchers:
+                fn(now, before, len(items))
+        if self._put_waiters:
+            self._admit_waiting_puts()
         return item
 
     def _serve_waiting_gets(self) -> None:
+        sim = self.sim
         while self._get_waiters and self._items:
             waiter = self._get_waiters.popleft()
-            waiter.succeed(self._take())
+            # Inlined waiter.succeed(...): waiters are fresh pending events.
+            waiter._value = self._take()
+            sim._sequence = sequence = sim._sequence + 1
+            heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sequence, waiter))
 
     def _admit_waiting_puts(self) -> None:
+        sim = self.sim
         while self._put_waiters and not self.is_full:
             event, item = self._put_waiters.popleft()
             self._store(item)
-            event.succeed()
+            event._value = None
+            sim._sequence = sequence = sim._sequence + 1
+            heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sequence, event))
 
     def _level_changed(self, old_level: int) -> None:
         now = self.sim.now
@@ -228,6 +270,7 @@ class CdcFifo(Fifo[T]):
         if latency_ps < 0:
             raise ValueError(f"negative CDC latency {latency_ps}")
         self.latency_ps = latency_ps
+        self._cdc_name = name + ".cdc"
         #: Items written but not yet visible, as (ready_time, item).
         self._in_flight: Deque[Tuple[int, T]] = deque()
 
@@ -259,7 +302,10 @@ class CdcFifo(Fifo[T]):
             return
         ready = self.sim.now + self.latency_ps
         self._in_flight.append((ready, item))
-        self.sim.timeout(self.latency_ps).add_callback(self._land)
+        # Pooled: the synchroniser wakeup is internal and never outlives
+        # _land, so the kernel can recycle it like a clock-edge wait.
+        self.sim.pooled_timeout(self.latency_ps,
+                                name=self._cdc_name).add_callback(self._land)
 
     def _land(self, _event: Event) -> None:
         now = self.sim.now

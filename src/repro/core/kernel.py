@@ -20,12 +20,20 @@ Typical usage::
 The kernel itself knows nothing about buses or memories; those live in the
 ``interconnect``/``memory`` packages and are built from processes, events and
 FIFOs.
+
+Hot-path design (see ``docs/PERFORMANCE.md``): :meth:`Simulator.run` selects
+one of two pre-bound loop bodies once — traced or untraced — instead of
+checking ``trace is None`` per event, pops the heap once per *timestamp
+cluster* (all events sharing ``now`` drain in an inner loop with no bound
+checks), and recycles clock-edge :class:`Timeout` objects through a pool so
+steady-state cycle-accurate models stop allocating on every edge.
 """
 
 from __future__ import annotations
 
 import heapq
-from itertools import count
+from functools import partial
+from heapq import heappop, heappush
 from typing import Any, Generator, Iterable, List, Optional, Tuple
 
 from .events import (
@@ -35,6 +43,7 @@ from .events import (
     EventError,
     Process,
     Timeout,
+    _PooledTimeout,
     PRIORITY_NORMAL,
 )
 
@@ -44,6 +53,10 @@ NS = 1_000
 US = 1_000_000
 #: One millisecond in picoseconds.
 MS = 1_000_000_000
+
+#: Upper bound on retained pooled timeouts (a platform rarely has more
+#: concurrent edge waits than this; beyond it we just let the GC work).
+_POOL_MAX = 512
 
 
 class SimulationError(RuntimeError):
@@ -58,16 +71,26 @@ class Simulator:
     trace:
         Optional callable invoked as ``trace(time_ps, event)`` for every
         processed event — handy when debugging models, far too verbose for
-        real runs.
+        real runs.  (With a trace installed the kernel takes its traced
+        loop body; never install one for performance measurements.)
     """
 
     def __init__(self, trace=None) -> None:
         self._now = 0
         self._queue: List[Tuple[int, int, int, Event]] = []
-        self._sequence = count()
+        #: Monotonic scheduling sequence.  A plain integer field: the hot
+        #: constructors in ``events.py`` bump it inline rather than paying
+        #: for an iterator protocol call per event.
+        self._sequence = 0
         self._trace = trace
         self._processed_events = 0
         self._clocks: List[Any] = []
+        #: Free list of recyclable :class:`_PooledTimeout` instances.
+        self._timeout_pool: List[_PooledTimeout] = []
+        # Shadow the `timeout` method with a C-level partial straight onto
+        # the constructor: one Python frame less on the single most-called
+        # factory in the system (see the method below for the signature).
+        self.timeout = partial(Timeout, self)
 
     # ------------------------------------------------------------------
     # time
@@ -96,8 +119,45 @@ class Simulator:
 
     def timeout(self, delay: int, value: Any = None,
                 priority: int = PRIORITY_NORMAL) -> Timeout:
-        """An event triggering ``delay`` picoseconds from now."""
+        """An event triggering ``delay`` picoseconds from now.
+
+        (Instances overwrite this with ``partial(Timeout, self)`` in
+        ``__init__`` — identical behaviour, one call frame cheaper.  This
+        def documents the signature and serves as the fallback.)
+        """
         return Timeout(self, delay, value=value, priority=priority)
+
+    def pooled_timeout(self, delay: int, value: Any = None,
+                       priority: int = PRIORITY_NORMAL,
+                       name: str = "") -> Timeout:
+        """A :class:`Timeout` drawn from (and returned to) a reuse pool.
+
+        Behaves exactly like :meth:`timeout` for the canonical wait pattern
+        ``yield clk.edge()`` — yield it, forget it.  The kernel reclaims the
+        object right after its callbacks ran, so **do not** keep a reference
+        across a later wait on the same clock/FIFO: the instance may have
+        been re-armed for somebody else's wait by then.  Conditions
+        (``all_of``/``any_of``) pin their children automatically and stay
+        safe.  Used by :class:`~repro.core.clock.Clock` edge waits and the
+        CDC FIFO synchroniser delay, which between them account for most
+        events in a cycle-accurate platform run.
+        """
+        pool = self._timeout_pool
+        if pool:
+            if delay < 0:
+                raise ValueError(f"negative timeout delay {delay}")
+            timeout = pool.pop()
+            timeout.callbacks = []
+            timeout._value = value
+            timeout._ok = True
+            timeout._processed = False
+            timeout.delay = delay
+            timeout.name = name
+            self._sequence = sequence = self._sequence + 1
+            heappush(self._queue, (self._now + delay, priority, sequence, timeout))
+            return timeout
+        return _PooledTimeout(self, delay, value=value, priority=priority,
+                              name=name)
 
     def process(self, generator: Generator[Event, Any, Any],
                 name: str = "") -> Process:
@@ -127,15 +187,27 @@ class Simulator:
     # scheduling / execution
     # ------------------------------------------------------------------
     def _enqueue(self, event: Event, delay: int, priority: int) -> None:
-        """Queue a triggered event for processing ``delay`` ps from now."""
+        """Queue a triggered event for processing ``delay`` ps from now.
+
+        Cold-path entry point.  The hot constructors (``Timeout.__init__``,
+        ``Event.succeed``) push onto ``_queue`` directly with the same
+        ``(time, priority, sequence, event)`` entry shape — keep the two in
+        sync when changing either.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        self._sequence = sequence = self._sequence + 1
         heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._sequence), event))
+            self._queue, (self._now + delay, priority, sequence, event))
 
     def peek(self) -> Optional[int]:
         """Time of the next queued event, or None when the queue is empty."""
         return self._queue[0][0] if self._queue else None
+
+    def _reclaim(self, event: Event) -> None:
+        """Return a processed pooled timeout to the free list."""
+        if not event._pinned and len(self._timeout_pool) < _POOL_MAX:
+            self._timeout_pool.append(event)
 
     def step(self) -> None:
         """Process exactly one event."""
@@ -149,6 +221,8 @@ class Simulator:
         if self._trace is not None:
             self._trace(when, event)
         event._run_callbacks()
+        if event.__class__ is _PooledTimeout:
+            self._reclaim(event)
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run until the queue drains, ``until`` ps is reached, or
@@ -159,36 +233,122 @@ class Simulator:
         event time (so time-weighted statistics are not diluted by a
         trailing idle span nobody simulated).
         """
-        budget = max_events if max_events is not None else -1
-        while self._queue:
-            if until is not None and self._queue[0][0] > until:
+        if max_events is not None:
+            return self._run_budgeted(until, max_events)
+        if self._trace is not None:
+            return self._run_traced(until)
+        return self._run_fast(until)
+
+    def _run_fast(self, until: Optional[int]) -> int:
+        """The untraced hot loop: batch every event sharing a timestamp.
+
+        The heap top is inspected once per *cluster*; inside a cluster the
+        inner loop pops, runs callbacks inline and recycles pooled timeouts
+        with no bound/trace checks.  Events a callback schedules for the
+        current timestamp join the live cluster in correct
+        priority-then-sequence order because the heap invariant holds across
+        pushes.
+        """
+        queue = self._queue
+        pop = heappop
+        pooled = _PooledTimeout
+        pool = self._timeout_pool
+        pool_append = pool.append
+        while queue:
+            when = queue[0][0]
+            if until is not None and when > until:
                 self._now = until
                 break
-            if budget == 0:
+            self._now = when
+            processed = 0
+            while queue and queue[0][0] == when:
+                event = pop(queue)[3]
+                processed += 1
+                # Inlined Event._run_callbacks().
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                # Inlined _reclaim().
+                if event.__class__ is pooled and not event._pinned \
+                        and len(pool) < _POOL_MAX:
+                    pool_append(event)
+            self._processed_events += processed
+        return self._now
+
+    def _run_traced(self, until: Optional[int]) -> int:
+        """Same clustering as :meth:`_run_fast`, plus the per-event trace."""
+        queue = self._queue
+        pop = heappop
+        trace = self._trace
+        while queue:
+            when = queue[0][0]
+            if until is not None and when > until:
+                self._now = until
                 break
-            self.step()
-            if budget > 0:
+            self._now = when
+            processed = 0
+            while queue and queue[0][0] == when:
+                event = pop(queue)[3]
+                processed += 1
+                trace(when, event)
+                event._run_callbacks()
+                if event.__class__ is _PooledTimeout:
+                    self._reclaim(event)
+            self._processed_events += processed
+        return self._now
+
+    def _run_budgeted(self, until: Optional[int], max_events: int) -> int:
+        """Clustered loop that additionally stops after ``max_events``.
+
+        Same batching as :meth:`_run_fast` with a per-event budget check;
+        used for both bounded debugging runs and watchdog-bounded platform
+        runs, so it must stay fast too.
+        """
+        budget = max_events
+        queue = self._queue
+        pop = heappop
+        trace = self._trace
+        pooled = _PooledTimeout
+        while queue and budget > 0:
+            when = queue[0][0]
+            if until is not None and when > until:
+                self._now = until
+                break
+            self._now = when
+            processed = 0
+            while budget > 0 and queue and queue[0][0] == when:
                 budget -= 1
+                event = pop(queue)[3]
+                processed += 1
+                if trace is not None:
+                    trace(when, event)
+                event._run_callbacks()
+                if event.__class__ is pooled:
+                    self._reclaim(event)
+            self._processed_events += processed
         return self._now
 
     def run_until_idle(self, quiet_ps: int) -> int:
-        """Run until no event fires for ``quiet_ps`` consecutive picoseconds.
+        """Run until no event fires for *more than* ``quiet_ps`` picoseconds.
 
-        Useful for "run to completion" of platforms whose clock processes
-        would otherwise keep the queue non-empty forever.  (Our clocks are
-        lazy — they only schedule edges someone waits for — so a plain
-        :meth:`run` usually suffices; this helper exists for models that
-        keep background refresh processes alive.)
+        The boundary is inclusive: an event (or burst) landing exactly at
+        ``last_activity + quiet_ps`` is still processed and restarts the
+        quiet window; the run only stops when the next queued event lies
+        strictly beyond it.  Useful for "run to completion" of platforms
+        whose clock processes would otherwise keep the queue non-empty
+        forever.  (Our clocks are lazy — they only schedule edges someone
+        waits for — so a plain :meth:`run` usually suffices; this helper
+        exists for models that keep background refresh processes alive.)
         """
         last_activity = self._now
         while self._queue:
-            next_time = self._queue[0][0]
-            if next_time - last_activity > quiet_ps:
+            if self._queue[0][0] > last_activity + quiet_ps:
                 break
-            before = self._processed_events
             self.step()
-            if self._processed_events != before:
-                last_activity = self._now
+            last_activity = self._now
         return self._now
 
 

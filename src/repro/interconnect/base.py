@@ -213,8 +213,11 @@ class Fabric(Component):
 
     def try_route(self, address: int) -> Optional[TargetPort]:
         """Decode ``address``; ``None`` when nothing claims it."""
+        # Inlined AddressRange.contains(): decode runs per request *and*
+        # per eligibility scan, so two property frames per probe add up.
         for target in self.targets:
-            if target.address_range.contains(address):
+            window = target.address_range
+            if window.base <= address < window.base + window.size:
                 return target
         return None
 
@@ -255,13 +258,15 @@ class Fabric(Component):
     # ------------------------------------------------------------------
     def request_candidates(self) -> List[Tuple[InitiatorPort, Transaction]]:
         """Initiator ports with a transaction at the head of their queue."""
-        return [(port, port.pending.peek())
-                for port in self.initiators if not port.pending.is_empty]
+        # Head peeks bypass the Fifo property/method frames: these scans run
+        # every arbitration round on every fabric.
+        return [(port, port.pending._items[0])
+                for port in self.initiators if port.pending._items]
 
     def response_candidates(self) -> List[Tuple[TargetPort, ResponseBeat]]:
         """Target ports with a response beat ready."""
-        return [(target, target.response_fifo.peek())
-                for target in self.targets if not target.response_fifo.is_empty]
+        return [(target, target.response_fifo._items[0])
+                for target in self.targets if target.response_fifo._items]
 
     def bus_cycles_for_beat(self, beat_bytes: int) -> int:
         """Bus cycles one data beat occupies on this fabric's data path."""

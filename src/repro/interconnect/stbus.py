@@ -100,9 +100,12 @@ class StbusNode(Fabric):
         ready = []
         for port, txn in candidates:
             target = self.try_route(txn.address)
-            if target is None or not target.request_fifo.is_full:
-                # Unmapped addresses stay eligible: the grant turns into a
-                # decode-error response (or a wiring error, per policy).
+            # (Plain-Fifo fullness check, inlined — target request FIFOs
+            # are always base Fifos.)  Unmapped addresses stay eligible:
+            # the grant turns into a decode-error response (or a wiring
+            # error, per policy).
+            if target is None or len(target.request_fifo._items) \
+                    < target.request_fifo.capacity:
                 ready.append((port, txn))
         return ready
 
@@ -116,7 +119,7 @@ class StbusNode(Fabric):
         while True:
             candidates = self._eligible_requests()
             if not candidates:
-                if any(not p.pending.is_empty for p in self.initiators):
+                if any(p.pending._items for p in self.initiators):
                     # Requests exist but every decoded target is full: the
                     # request/grant handshake stalls for a cycle.
                     yield clk.edge()
@@ -208,9 +211,9 @@ class StbusNode(Fabric):
         candidates = self.response_candidates()
         if current is not None:
             target, txn = current
-            if not target.response_fifo.is_empty and \
-                    target.response_fifo.peek().txn is txn:
-                return target, target.response_fifo.peek()
+            beats = target.response_fifo._items
+            if beats and beats[0].txn is txn:
+                return target, beats[0]
             if not self.interleave_responses:
                 return None
             candidates = [(t, b) for t, b in candidates

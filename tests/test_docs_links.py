@@ -1,0 +1,62 @@
+"""Documentation link checker.
+
+Every internal link in ``README.md`` and ``docs/*.md`` must resolve to a
+real file in the repository, so the architecture map in
+``docs/ARCHITECTURE.md`` cannot silently drift away from the source tree.
+External links (http/https/mailto) and pure in-page anchors are skipped.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target) — won't catch reference-style links, which the docs don't use.
+_LINK = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def _doc_files():
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return docs
+
+
+def _internal_links(doc: Path):
+    for match in _LINK.finditer(doc.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        yield target
+
+
+def test_docs_exist():
+    for doc in _doc_files():
+        assert doc.is_file(), doc
+
+
+@pytest.mark.parametrize("doc", _doc_files(), ids=lambda d: d.name)
+def test_internal_links_resolve(doc):
+    broken = []
+    for target in _internal_links(doc):
+        # Strip an in-page anchor and an optional :line suffix on code links.
+        path_part = target.split("#", 1)[0]
+        path_part = re.sub(r":\d+(-\d+)?$", "", path_part)
+        if not path_part:
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if not resolved.exists():
+            broken.append(target)
+    assert not broken, f"{doc.name}: broken links {broken}"
+
+
+def test_architecture_doc_references_only_real_modules():
+    """Every ``src/repro/...`` path mentioned anywhere in ARCHITECTURE.md
+    (links or inline code) must exist."""
+    doc = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+    text = doc.read_text()
+    paths = set(re.findall(r"src/repro/[\w/]+\.py", text))
+    assert paths, "ARCHITECTURE.md should anchor claims to module paths"
+    missing = [p for p in sorted(paths) if not (REPO_ROOT / p).is_file()]
+    assert not missing, f"ARCHITECTURE.md names missing modules: {missing}"

@@ -1,0 +1,271 @@
+"""Regression coverage for the kernel fast path.
+
+The optimised kernel batches same-timestamp events, pre-binds its loop body
+on the ``trace`` setting, and recycles clock-edge timeouts through a pool.
+These tests pin down what those optimisations must preserve: deterministic
+``(time, priority, sequence)`` ordering, bit-identical ``processed_events``
+counts versus the seed kernel, and the documented ``run``/``run_until_idle``
+boundary behaviour.
+"""
+
+import pytest
+
+from repro.bench import clock_edges, fifo_pipeline, timeout_storm
+from repro.core import AllOf, Fifo, Simulator
+from repro.core.events import (
+    PRIORITY_LOW,
+    PRIORITY_NORMAL,
+    PRIORITY_URGENT,
+    Timeout,
+    _PooledTimeout,
+)
+
+
+class TestSameTimestampBatching:
+    def test_priority_then_sequence_within_cluster(self, sim):
+        order = []
+        for i, priority in enumerate([PRIORITY_LOW, PRIORITY_NORMAL,
+                                      PRIORITY_URGENT, PRIORITY_NORMAL,
+                                      PRIORITY_LOW, PRIORITY_URGENT]):
+            Timeout(sim, 100, priority=priority).add_callback(
+                lambda _e, k=(priority, i): order.append(k))
+        sim.run()
+        # Priorities ascend; within a priority, insertion sequence holds.
+        assert order == sorted(order)
+
+    def test_event_scheduled_mid_cluster_joins_cluster(self, sim):
+        """A callback scheduling for the *current* time runs in the same
+        timestamp cluster, after everything already queued there."""
+        order = []
+
+        def first(_e):
+            order.append("first")
+            sim.timeout(0).add_callback(lambda _e: order.append("chained"))
+
+        sim.timeout(50).add_callback(first)
+        sim.timeout(50).add_callback(lambda _e: order.append("second"))
+        sim.run()
+        assert order == ["first", "second", "chained"]
+        assert sim.now == 50
+
+    def test_urgent_event_scheduled_mid_cluster_preempts(self, sim):
+        order = []
+
+        def first(_e):
+            order.append("first")
+            Timeout(sim, 0, priority=PRIORITY_URGENT).add_callback(
+                lambda _e: order.append("urgent"))
+
+        sim.timeout(50).add_callback(first)
+        Timeout(sim, 50, priority=PRIORITY_LOW).add_callback(
+            lambda _e: order.append("low"))
+        sim.run()
+        # The urgent event outranks the already-queued low-priority one.
+        assert order == ["first", "urgent", "low"]
+
+    def test_traced_and_untraced_runs_identical(self):
+        def workload(sim):
+            fifo = Fifo(sim, 2)
+
+            def producer():
+                for i in range(20):
+                    yield fifo.put(i)
+                    yield sim.timeout(3)
+
+            def consumer():
+                for _ in range(20):
+                    yield fifo.get()
+                    yield sim.timeout(5)
+
+            sim.process(producer())
+            sim.process(consumer())
+
+        plain = Simulator()
+        workload(plain)
+        plain.run()
+
+        seen = []
+        traced = Simulator(trace=lambda t, e: seen.append(t))
+        workload(traced)
+        traced.run()
+
+        assert traced.processed_events == plain.processed_events
+        assert traced.now == plain.now
+        assert len(seen) == traced.processed_events
+        assert seen == sorted(seen)
+
+    def test_budgeted_run_matches_unbudgeted_totals(self):
+        def build():
+            sim = Simulator()
+            for i in range(30):
+                sim.timeout(i % 7)
+            return sim
+
+        free = build()
+        free.run()
+        stepped = build()
+        while stepped.peek() is not None:
+            stepped.run(max_events=1)
+        assert stepped.processed_events == free.processed_events
+        assert stepped.now == free.now
+
+
+class TestSeedDeterminism:
+    """Event counts the seed (pre-optimisation) kernel produced.
+
+    These exact numbers were recorded on the unoptimised kernel; the fast
+    path must reproduce them bit-identically.
+    """
+
+    def test_timeout_storm_count(self):
+        assert timeout_storm() == (8_008, 14_000)
+
+    def test_fifo_pipeline_count(self):
+        events, _sim_time = fifo_pipeline()
+        assert events == 8_007
+
+    def test_clock_edges_count(self):
+        assert clock_edges() == (9_006, 18_072_000)
+
+
+class TestRunUntilClamping:
+    def test_until_clamps_now_before_future_events(self, sim):
+        sim.timeout(10_000)
+        assert sim.run(until=4_000) == 4_000
+        assert sim.now == 4_000
+        assert sim.processed_events == 0
+
+    def test_until_exactly_at_event_processes_it(self, sim):
+        sim.timeout(4_000)
+        sim.run(until=4_000)
+        assert sim.processed_events == 1
+        assert sim.now == 4_000
+
+    def test_drained_queue_does_not_jump_to_until(self, sim):
+        sim.timeout(1_000)
+        assert sim.run(until=9_999_999) == 1_000
+
+    def test_traced_run_respects_until(self):
+        sim = Simulator(trace=lambda t, e: None)
+        sim.timeout(10_000)
+        assert sim.run(until=123) == 123
+
+
+class TestRunUntilIdleBoundary:
+    def test_burst_exactly_at_quiet_boundary_is_processed(self):
+        """Regression: an event landing exactly quiet_ps after the last
+        activity restarts the window instead of being dropped."""
+        sim = Simulator()
+
+        def bursty():
+            yield sim.timeout(100)
+            yield sim.timeout(1_000)   # exactly at 100 + quiet_ps
+            yield sim.timeout(1_000)   # and again, at 1100 + quiet_ps
+
+        sim.process(bursty())
+        end = sim.run_until_idle(quiet_ps=1_000)
+        assert end == 2_100
+        assert sim.peek() is None  # nothing dropped
+
+    def test_event_just_past_boundary_stops_the_run(self):
+        sim = Simulator()
+
+        def sparse():
+            yield sim.timeout(100)
+            yield sim.timeout(1_001)  # one ps beyond the quiet window
+
+        sim.process(sparse())
+        end = sim.run_until_idle(quiet_ps=1_000)
+        assert end == 100
+        assert sim.peek() == 1_101  # still queued, not processed
+
+    def test_initial_window_measured_from_start_time(self):
+        sim = Simulator()
+        sim.timeout(500)
+        assert sim.run_until_idle(quiet_ps=500) == 500
+        assert sim.processed_events == 1
+
+
+class TestTimeoutPool:
+    def test_edge_timeouts_are_recycled(self, sim):
+        clk = sim.clock(freq_mhz=200)
+
+        def spinner():
+            for _ in range(50):
+                yield clk.edge()
+
+        sim.process(spinner())
+        sim.run()
+        assert len(sim._timeout_pool) >= 1
+        # Steady-state: one wait in flight at a time -> one pooled object.
+        assert len(sim._timeout_pool) <= 2
+
+    def test_pooled_timeouts_fire_in_order_across_reuse(self, sim):
+        clk = sim.clock(period_ps=1_000)
+        ticks = []
+
+        def spinner():
+            for _ in range(10):
+                yield clk.edge()
+                ticks.append(sim.now)
+
+        sim.process(spinner())
+        sim.run()
+        assert ticks == [1_000 * (i + 1) for i in range(10)]
+
+    def test_condition_pins_pooled_children(self, sim):
+        clk_a = sim.clock(period_ps=1_000, name="a")
+        clk_b = sim.clock(period_ps=1_500, name="b")
+        edge_a, edge_b = clk_a.edge(), clk_b.edge()
+        cond = AllOf(sim, [edge_a, edge_b])
+        sim.run()
+        assert cond.processed
+        # Pinned children keep their processed state and stay out of the pool.
+        assert edge_a.processed and edge_b.processed
+        assert edge_a not in sim._timeout_pool
+        assert edge_b not in sim._timeout_pool
+        assert cond.value == {edge_a: None, edge_b: None}
+
+    def test_pooled_timeout_reuse_is_reset(self, sim):
+        first = sim.pooled_timeout(10, value="x")
+        sim.run()
+        assert first.processed
+        second = sim.pooled_timeout(20, value="y")
+        # Same object, re-armed with fresh state.
+        assert second is first
+        assert not second.processed
+        assert second.value == "y"
+        sim.run()
+        assert second.processed and sim.now == 30
+
+    def test_pooled_negative_delay_rejected(self, sim):
+        sim.pooled_timeout(1)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.pooled_timeout(-1)
+
+    def test_plain_timeouts_never_pooled(self, sim):
+        sim.timeout(5)
+        sim.run()
+        assert sim._timeout_pool == []
+
+    def test_pool_reclaim_in_traced_and_budgeted_paths(self):
+        for kwargs in ({"trace": lambda t, e: None}, {}):
+            sim = Simulator(**kwargs)
+            clk = sim.clock(period_ps=100)
+
+            def spinner():
+                for _ in range(5):
+                    yield clk.edge()
+
+            sim.process(spinner())
+            if kwargs:
+                sim.run()
+            else:
+                sim.run(max_events=1_000)
+            assert len(sim._timeout_pool) >= 1
+
+    def test_isinstance_timeout_still_holds(self, sim):
+        clk = sim.clock(period_ps=100)
+        assert isinstance(clk.edge(), Timeout)
+        assert type(clk.edge()) is _PooledTimeout

@@ -12,6 +12,13 @@ fraction of time in each, plus how long the FIFO sat completely **empty**.
 It integrates state *durations* (no per-cycle sampling) and supports phase
 boundaries so multi-regime application lifetimes can be dissected exactly
 like Fig. 6's two working regimes.
+
+Both state trackers register in the simulator's metric registry
+(``<port>.iface.states`` / ``<port>.iface.empty``), so the Fig. 6 numbers
+appear in ``repro stats`` dumps alongside everything else; under an active
+observability capture the monitor additionally attaches a
+:class:`~repro.obs.registry.FifoProbe` (``<port>.iface.fifo``) measuring
+per-request waiting times in the same FIFO.
 """
 
 from __future__ import annotations
@@ -19,7 +26,6 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.kernel import Simulator
-from ..core.statistics import PhasedStates
 from ..interconnect.base import TargetPort
 
 #: The cycle-state partition of Fig. 6.
@@ -36,12 +42,18 @@ class InterfaceMonitor:
         self.sim = sim
         self.port = port
         self._storing = False
-        self._states = PhasedStates(sim, initial=self._classify(),
-                                    first_phase=first_phase)
-        self._empty = PhasedStates(
-            sim,
+        metrics = sim.metrics
+        self._states = metrics.phased_states(f"{port.name}.iface.states",
+                                             initial=self._classify(),
+                                             first_phase=first_phase)
+        self._empty = metrics.phased_states(
+            f"{port.name}.iface.empty",
             initial="empty" if port.request_fifo.is_empty else "nonempty",
             first_phase=first_phase)
+        if sim._spans is not None:
+            # Waiting-time probe only under an active capture: it installs
+            # a level watcher on what is usually the hottest FIFO in a run.
+            metrics.fifo(f"{port.name}.iface.fifo", port.request_fifo)
         port.request_fifo.watch(self._on_level)
         port.request_observers.append(self._on_request_state)
 

@@ -22,7 +22,6 @@ from typing import Callable, Optional
 
 from ..core.component import Component
 from ..core.kernel import Simulator
-from ..core.statistics import Counter
 from ..interconnect.base import Fabric, InitiatorPort, TargetPort
 from ..interconnect.types import AddressRange, ResponseBeat, Transaction
 
@@ -61,7 +60,7 @@ class BridgeBase(Component):
             request_depth=request_depth, response_depth=response_depth)
         self.init_port: InitiatorPort = dest.connect_initiator(
             f"{name}.out", max_outstanding=child_outstanding)
-        self.forwarded = Counter(f"{name}.forwarded")
+        self.forwarded = sim.metrics.counter(f"{name}.forwarded")
 
     # ------------------------------------------------------------------
     @property
@@ -93,6 +92,9 @@ class BridgeBase(Component):
             child.message_id = None
             child.message_last = True
         child.meta["bridge"] = self.name
+        spans = self.sim._spans
+        if spans is not None:
+            spans.mark(txn, "bridge.convert")
         return child
 
     # ------------------------------------------------------------------

@@ -5,17 +5,22 @@
     python -m repro list                         # available experiments
     python -m repro run fig5 --scale 0.5         # run one, print the figure
     python -m repro run all                      # the whole evaluation
+    python -m repro run fig5 --trace out.json    # ... with a Perfetto trace
     python -m repro platform my_platform.json    # simulate a config file
+    python -m repro trace fig5                   # lifecycle trace + hop table
+    python -m repro stats fig6 --json out.json   # flat metric dump
     python -m repro bench                        # kernel perf -> BENCH_kernel.json
 
 Each experiment prints the paper-style report and the outcome of its shape
 checks; the process exits non-zero if any claim fails, so the CLI is
-usable in CI.
+usable in CI.  ``trace``/``stats`` (and the ``--trace`` flag) run the
+experiment under an observability capture — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -120,6 +125,7 @@ def cmd_run(args) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'",
               file=sys.stderr)
         return 2
+    session = _start_capture(args)
     status = 0
     for name in names:
         description, runner = table[name]
@@ -133,6 +139,7 @@ def cmd_run(args) -> int:
                 print(f"  - {failure}")
         else:
             print("\nall shape claims hold")
+    _finish_capture(args, session)
     return status
 
 
@@ -142,6 +149,7 @@ def cmd_platform(args) -> int:
     from .platforms.loader import load_config
 
     config = load_config(args.config)
+    session = _start_capture(args)
     sim = Simulator()
     platform = build_platform(sim, config)
     result = platform.run(max_ps=args.max_us * 1_000_000)
@@ -157,6 +165,80 @@ def cmd_platform(args) -> int:
 
         results_to_csv(args.csv, [result])
         print(f"\nwrote {args.csv}")
+    _finish_capture(args, session)
+    return 0
+
+
+def _start_capture(args):
+    """Enter an observability capture when ``--trace PATH`` was given."""
+    if not getattr(args, "trace", None):
+        return None
+    from .obs import capture
+
+    manager = capture()
+    return manager, manager.__enter__()
+
+
+def _finish_capture(args, session) -> None:
+    """Close the capture and write the Perfetto trace file."""
+    if session is None:
+        return
+    manager, cap = session
+    manager.__exit__(None, None, None)
+    span_count = cap.write_trace(args.trace)
+    print(f"\nwrote {span_count} spans "
+          f"({len(cap.completed())} completed transactions) to {args.trace}")
+
+
+def cmd_trace(args) -> int:
+    table = registry()
+    if args.experiment not in table:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    from .obs import capture
+
+    description, runner = table[args.experiment]
+    print(f"### {args.experiment}: {description} (tracing)\n")
+    with capture() as cap:
+        runner(args.scale)
+    out = args.out or f"trace_{args.experiment}.json"
+    span_count = cap.write_trace(out)
+    completed = len(cap.completed())
+    print(f"captured {len(cap.transactions())} transactions "
+          f"({completed} completed) across {len(cap.recorders)} simulator(s)")
+    print(f"wrote {span_count} spans to {out} "
+          f"(load in ui.perfetto.dev or chrome://tracing)\n")
+    print(cap.format_summary())
+    return 0
+
+
+def cmd_stats(args) -> int:
+    table = registry()
+    if args.experiment not in table:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    from .obs import capture, metrics_csv, metrics_json, metrics_text
+
+    description, runner = table[args.experiment]
+    with capture() as cap:
+        runner(args.scale)
+    rows = cap.metrics_snapshot()
+    sim_time = max((sim.now for sim in cap.simulators), default=0)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(metrics_json(rows, sim_time_ps=sim_time,
+                                      experiment=args.experiment))
+        print(f"wrote {len(rows)} metric rows to {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(metrics_csv(rows))
+        print(f"wrote {len(rows)} metric rows to {args.csv}")
+    if not args.json and not args.csv:
+        print(f"### {args.experiment}: {description} — "
+              f"{len(rows)} metric rows\n")
+        print(metrics_text(rows, prefix=args.prefix))
     return 0
 
 
@@ -190,6 +272,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("experiment")
     run_parser.add_argument("--scale", type=float, default=1.0,
                             help="traffic scale factor (default 1.0)")
+    run_parser.add_argument("--trace", metavar="PATH",
+                            help="capture transaction lifecycles and write "
+                                 "a Perfetto trace_event JSON file")
     run_parser.set_defaults(func=cmd_run)
 
     plat_parser = sub.add_parser("platform",
@@ -198,7 +283,35 @@ def build_parser() -> argparse.ArgumentParser:
     plat_parser.add_argument("--max-us", type=float, default=20_000.0,
                              help="simulation bound in microseconds")
     plat_parser.add_argument("--csv", help="write the result row to CSV")
+    plat_parser.add_argument("--trace", metavar="PATH",
+                             help="capture transaction lifecycles and write "
+                                  "a Perfetto trace_event JSON file")
     plat_parser.set_defaults(func=cmd_platform)
+
+    trace_parser = sub.add_parser(
+        "trace", help="run an experiment under lifecycle tracing and "
+                      "report per-hop latencies")
+    trace_parser.add_argument("experiment")
+    trace_parser.add_argument("--scale", type=float, default=1.0,
+                              help="traffic scale factor (default 1.0)")
+    trace_parser.add_argument("--out", metavar="PATH",
+                              help="trace file (default "
+                                   "trace_<experiment>.json)")
+    trace_parser.set_defaults(func=cmd_trace)
+
+    stats_parser = sub.add_parser(
+        "stats", help="run an experiment and dump the flat metric registry")
+    stats_parser.add_argument("experiment")
+    stats_parser.add_argument("--scale", type=float, default=1.0,
+                              help="traffic scale factor (default 1.0)")
+    stats_parser.add_argument("--json", metavar="PATH",
+                              help="write metrics as JSON")
+    stats_parser.add_argument("--csv", metavar="PATH",
+                              help="write metrics as CSV")
+    stats_parser.add_argument("--prefix", default="",
+                              help="restrict terminal output to one "
+                                   "metric subtree")
+    stats_parser.set_defaults(func=cmd_stats)
 
     bench_parser = sub.add_parser(
         "bench", help="run the kernel performance scenarios and write "
@@ -219,7 +332,15 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Reports are routinely piped into head/less; a closed pipe is
+        # not an error. Detach stdout so interpreter shutdown does not
+        # raise a second time flushing it.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

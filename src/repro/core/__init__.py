@@ -23,6 +23,7 @@ from .kernel import MS, NS, US, SimulationError, Simulator
 from .statistics import (
     ChannelUtilization,
     Counter,
+    Gauge,
     LatencySummary,
     PhasedStates,
     TimeWeightedStates,
@@ -41,6 +42,7 @@ __all__ = [
     "Event",
     "EventError",
     "Fifo",
+    "Gauge",
     "Interrupt",
     "LatencySummary",
     "MS",

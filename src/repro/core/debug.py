@@ -26,18 +26,61 @@ def _fifos_of(obj) -> List[Fifo]:
     return found
 
 
+def _scheduled_wakes(sim) -> dict:
+    """Earliest scheduled fire time per queued event, keyed by ``id()``."""
+    table: dict = {}
+    for when, _priority, _sequence, event in sim._queue:
+        known = table.get(id(event))
+        if known is None or when < known:
+            table[id(event)] = when
+    return table
+
+
+def _wake_time(event, table: dict):
+    """When ``event`` will fire, if anything scheduled leads to it.
+
+    Composite conditions (``AllOf``/``AnyOf``) are resolved through their
+    child events: the earliest scheduled child is reported, which is exact
+    for *any-of* and a lower bound for *all-of* — either way it proves the
+    wait is drainable, which is what separates slow-drain from deadlock.
+    """
+    when = table.get(id(event))
+    if when is not None:
+        return when
+    children = getattr(event, "events", None)
+    if children:
+        child_times = [_wake_time(child, table) for child in children]
+        known = [t for t in child_times if t is not None]
+        if known:
+            return min(known)
+    return None
+
+
 def diagnose(root: Component) -> str:
-    """A human-readable stall report for ``root``'s component tree."""
+    """A human-readable stall report for ``root``'s component tree.
+
+    Every blocked process shows its scheduled wake time when one exists
+    ("no scheduled wake" is the deadlock signature), and every FIFO shows
+    its high-water mark so undersized buffers stand out even after they
+    drained.
+    """
     lines = [f"stall diagnosis of {root.path!r} at t={root.sim.now} ps",
              f"event queue: {'empty' if root.sim.peek() is None else 'non-empty'}"]
+    wakes = _scheduled_wakes(root.sim)
     for component in root.iter_tree():
         entries = []
         for proc in component.processes:
             if not proc.is_alive:
                 continue
             target = proc._target
-            where = repr(target) if target is not None else "(running)"
-            entries.append(f"    process {proc.name}: waiting on {where}")
+            if target is None:
+                entries.append(f"    process {proc.name}: (running)")
+                continue
+            when = _wake_time(target, wakes)
+            fate = (f"wakes at t={when} ps" if when is not None
+                    else "no scheduled wake")
+            entries.append(
+                f"    process {proc.name}: waiting on {target!r} ({fate})")
         for fifo in _fifos_of(component):
             state = "empty" if fifo.is_empty else (
                 "FULL" if fifo.is_full else f"{fifo.level}/{fifo.capacity}")
@@ -46,7 +89,8 @@ def diagnose(root: Component) -> str:
                 waiters += f" [{len(fifo._put_waiters)} blocked put(s)]"
             if fifo._get_waiters:
                 waiters += f" [{len(fifo._get_waiters)} blocked get(s)]"
-            entries.append(f"    fifo {fifo.name}: {state}{waiters}")
+            entries.append(f"    fifo {fifo.name}: {state}{waiters} "
+                           f"high_water={fifo.high_water}")
         if entries:
             lines.append(f"  {component.path}:")
             lines.extend(entries)

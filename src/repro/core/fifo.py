@@ -62,6 +62,9 @@ class Fifo(Generic[T]):
         # Occupancy accounting (time-weighted) -------------------------
         self._last_change_ps = sim.now
         self._level_time: dict = {}
+        #: Highest occupancy ever reached (even transiently within one
+        #: timestamp, which the time-weighted histogram cannot see).
+        self.high_water = 0
 
     # ------------------------------------------------------------------
     # inspection
@@ -189,6 +192,8 @@ class Fifo(Generic[T]):
         items = self._items
         before = len(items)
         items.append(item)
+        if before >= self.high_water:
+            self.high_water = before + 1
         # Inlined _level_changed(): store/take run twice per transferred
         # item, so the accounting is flattened and the (usually empty)
         # waiter scans are guarded instead of unconditionally called.

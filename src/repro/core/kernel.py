@@ -27,6 +27,13 @@ checking ``trace is None`` per event, pops the heap once per *timestamp
 cluster* (all events sharing ``now`` drain in an inner loop with no bound
 checks), and recycles clock-edge :class:`Timeout` objects through a pool so
 steady-state cycle-accurate models stop allocating on every edge.
+
+Observability hooks (see ``docs/OBSERVABILITY.md``) follow the same
+select-once discipline: the only per-run instrumentation points are the
+:data:`_new_sim_hooks` list (checked once, at ``Simulator`` construction)
+and the :attr:`Simulator._spans` slot (a ``None`` attribute unless a
+``repro.obs.capture()`` is active).  Neither is touched inside the event
+loops, so a run with tracing disabled executes exactly the PR 1 fast path.
 """
 
 from __future__ import annotations
@@ -57,6 +64,13 @@ MS = 1_000_000_000
 #: Upper bound on retained pooled timeouts (a platform rarely has more
 #: concurrent edge waits than this; beyond it we just let the GC work).
 _POOL_MAX = 512
+
+#: Construction observers: each callable is invoked with every newly built
+#: :class:`Simulator`.  Empty by default — ``repro.obs.capture()`` appends a
+#: hook here for the duration of a capture so platforms built inside the
+#: capture window come up with span recording attached.  The list is only
+#: consulted in ``Simulator.__init__``, never on the event hot path.
+_new_sim_hooks: List[Any] = []
 
 
 class SimulationError(RuntimeError):
@@ -91,6 +105,16 @@ class Simulator:
         # the constructor: one Python frame less on the single most-called
         # factory in the system (see the method below for the signature).
         self.timeout = partial(Timeout, self)
+        #: Transaction-span recorder (``repro.obs.trace.SpanRecorder``) or
+        #: ``None``.  Components read this once at construction; model code
+        #: guards every mark with an ``is not None`` check per *transaction*
+        #: hop, so a run without a capture pays nothing per event.
+        self._spans = None
+        #: Lazily created hierarchical metric registry (see :attr:`metrics`).
+        self._metrics = None
+        if _new_sim_hooks:
+            for hook in tuple(_new_sim_hooks):
+                hook(self)
 
     # ------------------------------------------------------------------
     # time
@@ -109,6 +133,22 @@ class Simulator:
     def processed_events(self) -> int:
         """Total number of events processed so far (a determinism probe)."""
         return self._processed_events
+
+    @property
+    def metrics(self):
+        """The simulator's hierarchical metric registry (created lazily).
+
+        Every component registers its counters, gauges, histograms and
+        time-weighted state trackers here by dotted path
+        (``repro.obs.registry.MetricRegistry``), so a whole run can be
+        dumped, diffed or exported without knowing which components exist.
+        """
+        registry = self._metrics
+        if registry is None:
+            from ..obs.registry import MetricRegistry  # deferred: no cycle
+
+            registry = self._metrics = MetricRegistry(self)
+        return registry
 
     # ------------------------------------------------------------------
     # event factories

@@ -44,6 +44,10 @@ class AhbLayer(Fabric):
         super().__init__(sim, name, clock, data_width_bytes=data_width_bytes,
                          arbiter=arbiter, parent=parent)
         self.bus = self.channel("bus")
+        #: Back-to-back transfers whose address phase overlapped the
+        #: previous data phase (the AHB pipelining win, visible in stats).
+        self.pipelined_handovers = sim.metrics.counter(
+            f"{name}.pipelined_handovers")
         self.process(self._bus_process(), name="bus")
 
     def _bus_process(self):
@@ -73,6 +77,8 @@ class AhbLayer(Fabric):
         if not pipelined:
             yield clk.edge()
             self.bus.add_busy(clk.period_ps, transfers=0)
+        else:
+            self.pipelined_handovers.add()
         if target is None:
             # The decoder's default slave responds with an HRESP error.
             yield clk.edge()

@@ -53,6 +53,10 @@ class AxiFabric(Fabric):
         self.w_channel = self.channel("w")
         self.r_channel = self.channel("r")
         self.b_channel = self.channel("b")
+        #: Mid-burst switches on the R channel — consecutive data beats from
+        #: different, still-open bursts.  This is the "fine granularity
+        #: arbitration" at work; zero means responses streamed back-to-back.
+        self.r_interleaves = sim.metrics.counter(f"{name}.r_interleaves")
         self.process(self._address_process(Opcode.READ), name="ar")
         self.process(self._address_process(Opcode.WRITE), name="aw_w")
         self.process(self._data_return_process(want_acks=False), name="r")
@@ -132,6 +136,7 @@ class AxiFabric(Fabric):
         clk = self.clock
         channel = self.b_channel if want_acks else self.r_channel
         rotation = 0
+        previous_txn = None
         while True:
             candidates = self._scan_beats(want_acks)
             if not candidates:
@@ -141,6 +146,11 @@ class AxiFabric(Fabric):
             rotation += 1
             target, beat = candidates[rotation % len(candidates)]
             target.response_fifo.remove(beat)
+            if (not want_acks and previous_txn is not None
+                    and beat.txn is not previous_txn
+                    and previous_txn.t_done is None):
+                self.r_interleaves.add()
+            previous_txn = beat.txn
             cycles = 1 if beat.is_write_ack else \
                 self.bus_cycles_for_beat(beat.txn.beat_bytes)
             yield clk.edges(cycles)

@@ -27,7 +27,7 @@ from ..core.component import Component
 from ..core.events import Event
 from ..core.fifo import Fifo
 from ..core.kernel import Simulator
-from ..core.statistics import ChannelUtilization, Counter, LatencySummary
+from ..core.statistics import ChannelUtilization
 from ..core.sync import Semaphore, WorkSignal
 from .arbiter import Arbiter, RoundRobin
 from .types import AddressRange, ResponseBeat, Transaction
@@ -53,9 +53,14 @@ class InitiatorPort:
         self.pending: Fifo[Transaction] = Fifo(self.sim, depth,
                                                name=f"{name}.pending")
         self.credits = Semaphore(self.sim, max_outstanding, name=f"{name}.credits")
-        self.issued = Counter(f"{name}.issued")
-        self.completed = Counter(f"{name}.completed")
-        self.latency = LatencySummary(f"{name}.latency")
+        # Port statistics live in the simulator-wide metric registry under
+        # "<fabric>.<port>.*" so a whole run's numbers are path-addressable;
+        # the objects themselves are the same plain counters as before.
+        metrics = self.sim.metrics
+        prefix = f"{fabric.name}.{name}"
+        self.issued = metrics.counter(f"{prefix}.issued")
+        self.completed = metrics.counter(f"{prefix}.completed")
+        self.latency = metrics.histogram(f"{prefix}.latency")
 
     # ------------------------------------------------------------------
     def issue(self, txn: Transaction) -> Event:
@@ -114,7 +119,15 @@ class TargetPort:
             self.sim, request_depth, name=f"{name}.req")
         self.response_fifo: Fifo[ResponseBeat] = Fifo(
             self.sim, response_depth, name=f"{name}.resp")
-        self.accepted = Counter(f"{name}.accepted")
+        metrics = self.sim.metrics
+        prefix = f"{fabric.name}.{name}"
+        self.accepted = metrics.counter(f"{prefix}.accepted")
+        if self.sim._spans is not None:
+            # FIFO probes install level watchers, so only under an active
+            # observability capture (they are the Fig. 6 occupancy/waiting
+            # instruments, not always-on bookkeeping).
+            metrics.fifo(f"{prefix}.req_fifo", self.request_fifo)
+            metrics.fifo(f"{prefix}.resp_fifo", self.response_fifo)
         #: Optional observers of request-channel activity towards this port
         #: (used by the Fig. 6 interface monitor).
         self.request_observers: List[Callable[[str], None]] = []
@@ -174,7 +187,7 @@ class Fabric(Component):
         self._response_work = WorkSignal(sim, name=f"{name}.resp_work")
         #: Channel occupancy accounting, keyed by channel name.
         self.channels: Dict[str, ChannelUtilization] = {}
-        self.decode_errors = Counter(f"{name}.decode_errors")
+        self.decode_errors = sim.metrics.counter(f"{name}.decode_errors")
 
     # ------------------------------------------------------------------
     # wiring
@@ -235,7 +248,7 @@ class Fabric(Component):
     def channel(self, name: str) -> ChannelUtilization:
         """Lazily created busy-time monitor for a named channel."""
         if name not in self.channels:
-            self.channels[name] = ChannelUtilization(self.sim, name=f"{self.name}.{name}")
+            self.channels[name] = self.sim.metrics.channel(f"{self.name}.{name}")
         return self.channels[name]
 
     # ------------------------------------------------------------------

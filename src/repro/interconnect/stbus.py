@@ -67,6 +67,9 @@ class StbusNode(Fabric):
             self.arbiter = MessageArbiter(self.arbiter)
         self.req_channel = self.channel("request")
         self.resp_channel = self.channel("response")
+        #: Forced message-lock releases (bounded atomicity tripped); a
+        #: non-zero value flags pathological message shaping on this node.
+        self.lock_breaks = sim.metrics.counter(f"{name}.lock_breaks")
         self.process(self._request_process(), name="req")
         self.process(self._response_process(), name="resp")
 
@@ -133,6 +136,7 @@ class StbusNode(Fabric):
                 if (stalled_rounds >= self.MAX_LOCK_STALL_ROUNDS
                         and isinstance(self.arbiter, MessageArbiter)):
                     self.arbiter.break_lock()
+                    self.lock_breaks.add()
                 yield clk.edge()
                 continue
             stalled_rounds = 0

@@ -160,6 +160,9 @@ class Transaction:
         self.t_created = sim.now
         self.ev_accepted = Event(sim, name=f"txn{self.tid}.accepted")
         self.ev_done = Event(sim, name=f"txn{self.tid}.done")
+        spans = sim._spans
+        if spans is not None:
+            spans.register(self)
         return self
 
     def mark_accepted(self, time_ps: int) -> None:

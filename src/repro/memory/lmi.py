@@ -36,7 +36,6 @@ from typing import List, Optional, Sequence
 from ..core.clock import Clock
 from ..core.component import Component
 from ..core.kernel import Simulator
-from ..core.statistics import Counter, LatencySummary
 from ..core.sync import WorkSignal
 from ..interconnect.base import TargetPort
 from ..interconnect.types import Opcode, ResponseBeat, Transaction
@@ -90,11 +89,12 @@ class LmiController(Component):
         self.config = config or LmiConfig()
         self.device = SdramDevice(sim, f"{name}.sdram", clock, timing,
                                   geometry or SdramGeometry())
-        # -- statistics ---------------------------------------------------
-        self.served = Counter(f"{name}.served")
-        self.merges = Counter(f"{name}.merges")
-        self.lookahead_promotions = Counter(f"{name}.lookahead_promotions")
-        self.read_latency = LatencySummary(f"{name}.read_latency")
+        # -- statistics (registry-backed, addressable as "<name>.*") ------
+        metrics = sim.metrics
+        self.served = metrics.counter(f"{name}.served")
+        self.merges = metrics.counter(f"{name}.merges")
+        self.lookahead_promotions = metrics.counter(f"{name}.lookahead_promotions")
+        self.read_latency = metrics.histogram(f"{name}.read_latency")
         self._last_was_write = False
         self._next_refresh_ps = clock.to_ps(timing.t_refi)
         # Wake the engine whenever a request lands in the input FIFO.
@@ -220,10 +220,19 @@ class LmiController(Component):
         first_txn = group[0]
         total_bytes = sum(t.total_bytes for t in group)
         device_beats = max(1, -(-total_bytes // self.device.geometry.width_bytes))
+        spans = self.sim._spans
+        if spans is not None:
+            # Lifecycle marks: engine dequeue now, command issue after the
+            # front pipeline — the two hops Fig. 6 cannot see from the bus.
+            for txn in group:
+                spans.mark(txn, "lmi.engine")
         # Controller front pipeline: decode, optimisation, command issue.
         yield clk.edges(cfg.pipeline_front_cycles)
         first_data, last_data, _hit = self.device.access(
             first_txn.is_write, first_txn.address, device_beats, self.sim.now)
+        if spans is not None:
+            for txn in group:
+                spans.mark(txn, "sdram.cmd")
         self._last_was_write = first_txn.is_write
         self.served.add(len(group))
         if first_txn.is_write:

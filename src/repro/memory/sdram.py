@@ -19,7 +19,6 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.clock import Clock
 from ..core.kernel import Simulator
-from ..core.statistics import Counter
 from .timing import SdramGeometry, SdramTiming
 
 
@@ -57,14 +56,15 @@ class SdramDevice:
         self._databus_free_ps = 0
         self._last_write_data_end_ps = -10**15
         self._last_activate_any_ps = -10**15
-        # -- statistics ---------------------------------------------------
-        self.activates = Counter(f"{name}.activates")
-        self.precharges = Counter(f"{name}.precharges")
-        self.reads = Counter(f"{name}.reads")
-        self.writes = Counter(f"{name}.writes")
-        self.refreshes = Counter(f"{name}.refreshes")
-        self.row_hits = Counter(f"{name}.row_hits")
-        self.row_misses = Counter(f"{name}.row_misses")
+        # -- statistics (registry-backed, addressable as "<name>.*") ------
+        metrics = sim.metrics
+        self.activates = metrics.counter(f"{name}.activates")
+        self.precharges = metrics.counter(f"{name}.precharges")
+        self.reads = metrics.counter(f"{name}.reads")
+        self.writes = metrics.counter(f"{name}.writes")
+        self.refreshes = metrics.counter(f"{name}.refreshes")
+        self.row_hits = metrics.counter(f"{name}.row_hits")
+        self.row_misses = metrics.counter(f"{name}.row_misses")
 
     # ------------------------------------------------------------------
     def _cycles(self, n: int) -> int:

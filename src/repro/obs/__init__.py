@@ -1,0 +1,151 @@
+"""``repro.obs`` — the unified instrumentation layer.
+
+Three pieces, composable but independent:
+
+:mod:`repro.obs.registry`
+    A per-simulator :class:`MetricRegistry` (reached as ``sim.metrics``)
+    through which components create their counters, gauges, histograms and
+    state trackers, making every statistic addressable by dotted path.
+
+:mod:`repro.obs.trace`
+    Transaction-lifecycle :class:`SpanRecorder` — per-hop timestamps from
+    initiator issue through arbitration, bridge conversion, LMI reordering
+    and SDRAM command issue, tiled into spans whose durations sum exactly
+    to the end-to-end latency.
+
+:mod:`repro.obs.perfetto` / :mod:`repro.obs.export`
+    Exporters: Chrome/Perfetto ``trace_event`` JSON for the spans, and
+    JSON/CSV/terminal dumps for the metric snapshot.
+
+Usage::
+
+    from repro.obs import capture
+
+    with capture() as cap:
+        result = run_config(config)      # builds its own Simulator(s)
+    cap.write_trace("out.json")          # Perfetto-loadable
+    print(cap.format_summary())          # per-hop latency table
+
+:func:`capture` works *ambiently*: while the context is active, every
+:class:`~repro.core.kernel.Simulator` constructed anywhere in the process
+gets a recorder attached.  That matters because experiment runners build
+their simulators internally.  Outside a capture nothing is attached, the
+kernel's ``_new_sim_hooks`` list is empty, and the per-transaction guards
+(``sim._spans is not None``) all fail — tracing costs nothing when off
+(the claim ``tests/test_obs_overhead.py`` enforces against the kernel
+benchmark baseline).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, List
+
+from ..core import kernel as _kernel
+from .export import metrics_csv, metrics_json, metrics_text
+from .perfetto import to_trace_json, trace_events, write_trace
+from .registry import FifoProbe, MetricRegistry
+from .trace import (
+    Instant,
+    Span,
+    SpanRecorder,
+    build_spans,
+    format_hop_summary,
+    hop_summary,
+)
+
+__all__ = [
+    "Capture",
+    "FifoProbe",
+    "Instant",
+    "MetricRegistry",
+    "Span",
+    "SpanRecorder",
+    "build_spans",
+    "capture",
+    "format_hop_summary",
+    "hop_summary",
+    "metrics_csv",
+    "metrics_json",
+    "metrics_text",
+    "to_trace_json",
+    "trace_events",
+    "write_trace",
+]
+
+
+class Capture:
+    """One observability session: recorders for every simulator it saw."""
+
+    def __init__(self) -> None:
+        self.recorders: List[SpanRecorder] = []
+
+    # ------------------------------------------------------------------
+    # attachment
+    # ------------------------------------------------------------------
+    def attach(self, sim) -> SpanRecorder:
+        """Attach span recording to an already-built simulator."""
+        if sim._spans is not None:
+            raise RuntimeError("simulator already has a span recorder")
+        recorder = SpanRecorder(sim)
+        sim._spans = recorder
+        self.recorders.append(recorder)
+        return recorder
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    @property
+    def simulators(self) -> List:
+        return [recorder.sim for recorder in self.recorders]
+
+    def transactions(self) -> List:
+        """All captured transactions across simulators, in bind order."""
+        return [txn for recorder in self.recorders
+                for txn in recorder.transactions]
+
+    def completed(self) -> List:
+        return [txn for recorder in self.recorders
+                for txn in recorder.completed()]
+
+    def hop_summary(self):
+        """Per-hop latency populations (see :func:`repro.obs.trace.hop_summary`)."""
+        return hop_summary(self.recorders)
+
+    def format_summary(self) -> str:
+        return format_hop_summary(self.hop_summary())
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Merged metric rows from every captured simulator.
+
+        Multi-simulator captures prefix rows with ``sim<N>.`` to keep them
+        apart; the common single-simulator case stays unprefixed.
+        """
+        if len(self.recorders) == 1:
+            return self.recorders[0].sim.metrics.snapshot()
+        rows: Dict[str, float] = {}
+        for index, recorder in enumerate(self.recorders, start=1):
+            for path, value in recorder.sim.metrics.snapshot().items():
+                rows[f"sim{index}.{path}"] = value
+        return rows
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_trace_json(self):
+        return to_trace_json(self.recorders)
+
+    def write_trace(self, path: str) -> int:
+        """Write a Perfetto trace file; returns the span-event count."""
+        return write_trace(path, self.recorders)
+
+
+@contextmanager
+def capture() -> Iterator[Capture]:
+    """Ambiently record every simulator built while the context is active."""
+    session = Capture()
+    _kernel._new_sim_hooks.append(session.attach)
+    try:
+        yield session
+    finally:
+        _kernel._new_sim_hooks.remove(session.attach)

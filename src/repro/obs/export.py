@@ -1,0 +1,58 @@
+"""Flat metric export: JSON, CSV, and terminal rendering.
+
+Everything here consumes the ``path -> value`` rows produced by
+:meth:`~repro.obs.registry.MetricRegistry.snapshot`, so any metric a
+component registers shows up in every export format with no per-format
+plumbing.  Rows are emitted in sorted path order, which makes two runs'
+dumps directly diffable.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Dict, Optional
+
+
+def metrics_json(rows: Dict[str, float], *, sim_time_ps: Optional[int] = None,
+                 experiment: Optional[str] = None) -> str:
+    """JSON document with a small header plus the sorted metric rows."""
+    document = {
+        "experiment": experiment,
+        "sim_time_ps": sim_time_ps,
+        "metrics": {path: rows[path] for path in sorted(rows)},
+    }
+    return json.dumps(document, indent=2) + "\n"
+
+
+def metrics_csv(rows: Dict[str, float]) -> str:
+    """Two-column ``metric,value`` CSV in sorted path order."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["metric", "value"])
+    for path in sorted(rows):
+        value = rows[path]
+        writer.writerow([path, f"{value:.6g}" if isinstance(value, float)
+                         else value])
+    return buffer.getvalue()
+
+
+def metrics_text(rows: Dict[str, float], prefix: str = "") -> str:
+    """Aligned terminal listing, optionally restricted to a path prefix."""
+    if prefix:
+        dotted = prefix + "."
+        rows = {path: value for path, value in rows.items()
+                if path == prefix or path.startswith(dotted)}
+    if not rows:
+        return "(no metrics)"
+    width = max(len(path) for path in rows)
+    lines = []
+    for path in sorted(rows):
+        value = rows[path]
+        if isinstance(value, float) and not value.is_integer():
+            rendered = f"{value:.4f}"
+        else:
+            rendered = f"{int(value):,}"
+        lines.append(f"{path:<{width}}  {rendered}")
+    return "\n".join(lines)

@@ -1,0 +1,98 @@
+"""Chrome / Perfetto ``trace_event`` export.
+
+Serialises the spans captured by :class:`~repro.obs.trace.SpanRecorder`
+into the JSON object format understood by ``ui.perfetto.dev`` and
+``chrome://tracing``:
+
+* one *process* per simulator (pid 1, 2, ... in capture order),
+* one *track* (tid) per initiator, so each IP traffic generator's
+  transactions stack on their own timeline,
+* ``"ph": "X"`` complete events for every lifecycle span — arbitration,
+  request transfer, bridge crossing, LMI engine, memory access, response
+  transfer — with the transaction id and burst shape in ``args``,
+* ``"ph": "i"`` instant events for marks outside the lifecycle tiling
+  (the memory-side tail of posted writes),
+* ``"ph": "M"`` metadata records naming processes and threads.
+
+Timestamps: the trace_event format counts microseconds.  The kernel counts
+integer picoseconds.  We export ``ts``/``dur`` in fractional microseconds
+(``ps / 1e6``) so sub-nanosecond hops keep their width in the viewer.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .trace import build_spans
+
+#: trace_event timestamps are microseconds; the kernel counts picoseconds.
+_PS_PER_US = 1e6
+
+
+def _us(time_ps: int) -> float:
+    return time_ps / _PS_PER_US
+
+
+def trace_events(recorders) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for one or more span recorders."""
+    events: List[Dict[str, Any]] = []
+    for pid, recorder in enumerate(recorders, start=1):
+        events.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": f"simulator{pid}"},
+        })
+        named_tracks = set()
+        for txn in recorder.transactions:
+            track = txn.initiator or f"txn{txn.tid}"
+            if track not in named_tracks:
+                named_tracks.add(track)
+                events.append({
+                    "name": "thread_name", "ph": "M", "pid": pid,
+                    "tid": track, "args": {"name": track},
+                })
+            spans, instants = build_spans(txn, recorder.marks(txn))
+            args = {
+                "tid": txn.tid,
+                "opcode": txn.opcode.value,
+                "address": f"{txn.address:#x}",
+                "beats": txn.beats,
+                "beat_bytes": txn.beat_bytes,
+            }
+            parent = txn.meta.get("parent")
+            if parent is not None:
+                args["parent"] = getattr(parent, "tid", parent)
+            if txn.posted:
+                args["posted"] = True
+            for span in spans:
+                events.append({
+                    "name": span.name, "cat": "txn", "ph": "X",
+                    "pid": pid, "tid": track,
+                    "ts": _us(span.start_ps), "dur": _us(span.duration_ps),
+                    "args": args,
+                })
+            for instant in instants:
+                events.append({
+                    "name": instant.name, "cat": "txn", "ph": "i",
+                    "pid": pid, "tid": track, "ts": _us(instant.time_ps),
+                    "s": "t", "args": {"tid": txn.tid},
+                })
+    return events
+
+
+def to_trace_json(recorders) -> Dict[str, Any]:
+    """The full JSON-object-format trace document."""
+    return {
+        "traceEvents": trace_events(recorders),
+        "displayTimeUnit": "ns",
+        "otherData": {"source": "repro.obs", "time_unit": "us"},
+    }
+
+
+def write_trace(path: str, recorders) -> int:
+    """Write a Perfetto-loadable trace file; returns the span-event count."""
+    document = to_trace_json(recorders)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1)
+        handle.write("\n")
+    return sum(1 for event in document["traceEvents"] if event["ph"] == "X")

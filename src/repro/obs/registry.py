@@ -1,0 +1,215 @@
+"""Hierarchical metric registry.
+
+One :class:`MetricRegistry` lives on every :class:`~repro.core.kernel.Simulator`
+(lazily, via ``sim.metrics``).  Components create their statistics *through*
+the registry instead of instantiating bare
+:mod:`repro.core.statistics` objects, so every metric in a run is reachable
+by dotted path — ``central.request.utilization``, ``lmi.served``,
+``cluster0.ip0.latency.p95`` — without knowing which components were built.
+
+The registry stores the *same* primitive objects the models always used
+(:class:`~repro.core.statistics.Counter`,
+:class:`~repro.core.statistics.Gauge`,
+:class:`~repro.core.statistics.LatencySummary`,
+:class:`~repro.core.statistics.TimeWeightedStates`, ...), so registering a
+metric changes nothing about its update cost: the hot paths still bump a
+plain attribute on a plain object.  Observability is a *view*, not a tax.
+
+Naming scheme (see ``docs/OBSERVABILITY.md``):
+
+* ``<fabric>.<channel>.*`` — channel busy-time accounting
+* ``<fabric>.<port>.*`` — per-port counters and latency populations
+* ``<component>.<stat>`` — component-private counters (``lmi.merges``, ...)
+
+Paths are unique per simulator.  When two components would claim the same
+path (e.g. two ad-hoc test fabrics both called ``node``), later claims get a
+deterministic ``~2``, ``~3`` ... suffix rather than raising, so exploratory
+scripts never have to invent names just to satisfy the registry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Iterator, Optional
+
+from ..core.fifo import Fifo
+from ..core.statistics import (
+    ChannelUtilization,
+    Counter,
+    Gauge,
+    LatencySummary,
+    PhasedStates,
+    TimeWeightedStates,
+)
+
+
+class FifoProbe:
+    """Uniform FIFO occupancy *and* waiting-time statistics.
+
+    The paper's Fig. 6 quantities — how full the LMI input FIFO sits and how
+    long requests wait in it — used to require bespoke callbacks per
+    experiment.  A probe watches any :class:`~repro.core.fifo.Fifo` and
+    derives both uniformly: occupancy comes from the FIFO's own
+    time-weighted accounting, waiting times from pairing each level increase
+    with the next decrease (FIFO discipline; with out-of-order ``remove()``
+    extraction, as in the LMI optimisation engine, the reported waits are
+    the FIFO-order approximation, which bounds the true in-order wait).
+    """
+
+    def __init__(self, fifo: Fifo, path: str) -> None:
+        self.fifo = fifo
+        self.path = path
+        self.wait = LatencySummary(f"{path}.wait")
+        self._entries: Deque[int] = deque()
+        fifo.watch(self._on_level)
+
+    def _on_level(self, time_ps: int, old: int, new: int) -> None:
+        if new > old:
+            for _ in range(new - old):
+                self._entries.append(time_ps)
+        else:
+            for _ in range(old - new):
+                if self._entries:
+                    self.wait.add(time_ps - self._entries.popleft())
+
+
+class MetricRegistry:
+    """Path-addressed store of every metric a simulation collects."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def register(self, path: str, metric):
+        """Index an existing metric object under ``path`` (returned as-is).
+
+        A taken path gets a ``~2``/``~3``... suffix; see the module
+        docstring for why collisions are disambiguated rather than fatal.
+        """
+        if not path:
+            raise ValueError("metric path must be non-empty")
+        final = path
+        bump = 2
+        while final in self._metrics:
+            final = f"{path}~{bump}"
+            bump += 1
+        self._metrics[final] = metric
+        return metric
+
+    def counter(self, path: str) -> Counter:
+        """Create and register a monotonically increasing counter."""
+        return self.register(path, Counter(path))
+
+    def gauge(self, path: str, initial: int = 0) -> Gauge:
+        """Create and register an instantaneous value with watermarks."""
+        return self.register(path, Gauge(path, initial=initial))
+
+    def histogram(self, path: str) -> LatencySummary:
+        """Create and register a latency/duration population."""
+        return self.register(path, LatencySummary(path))
+
+    def states(self, path: str, initial: str = "idle") -> TimeWeightedStates:
+        """Create and register a time-weighted state tracker."""
+        return self.register(path, TimeWeightedStates(self.sim, initial=initial))
+
+    def phased_states(self, path: str, initial: str = "idle",
+                      first_phase: str = "phase0") -> PhasedStates:
+        """Create and register a per-phase state tracker (Fig. 6 shape)."""
+        return self.register(
+            path, PhasedStates(self.sim, initial=initial,
+                               first_phase=first_phase))
+
+    def channel(self, path: str) -> ChannelUtilization:
+        """Create and register a bus-channel busy-time monitor."""
+        return self.register(path, ChannelUtilization(self.sim, name=path))
+
+    def fifo(self, path: str, fifo: Fifo) -> FifoProbe:
+        """Attach a :class:`FifoProbe` to ``fifo`` and register it.
+
+        Note this installs a level watcher on the FIFO — unlike the other
+        factories it is *not* free, so callers gate it on an active
+        observability capture (``sim._spans is not None``).
+        """
+        return self.register(path, FifoProbe(fifo, path))
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    def get(self, path: str):
+        """The metric registered at ``path`` (KeyError when absent)."""
+        return self._metrics[path]
+
+    def __contains__(self, path: str) -> bool:
+        return path in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def paths(self) -> Iterator[str]:
+        """All registered paths, in registration order."""
+        return iter(self._metrics)
+
+    def subtree(self, prefix: str) -> Dict[str, object]:
+        """Every metric whose path equals ``prefix`` or starts ``prefix.``."""
+        dotted = prefix + "."
+        return {path: metric for path, metric in self._metrics.items()
+                if path == prefix or path.startswith(dotted)}
+
+    # ------------------------------------------------------------------
+    # flattening
+    # ------------------------------------------------------------------
+    def snapshot(self, until_ps: Optional[int] = None) -> Dict[str, float]:
+        """Flatten every metric into ``path -> number`` rows.
+
+        Composite metrics expand into dotted sub-rows
+        (``....latency.mean``, ``....states.frac.fifo_full``), so the result
+        is directly dumpable as CSV/JSON and diffable between runs.
+        """
+        rows: Dict[str, float] = {}
+        for path, metric in self._metrics.items():
+            self._flatten(rows, path, metric, until_ps)
+        return rows
+
+    def _flatten(self, rows: Dict[str, float], path: str, metric,
+                 until_ps: Optional[int]) -> None:
+        if isinstance(metric, Counter):
+            rows[path] = float(metric.value)
+        elif isinstance(metric, Gauge):
+            rows[path] = float(metric.value)
+            rows[f"{path}.high_water"] = float(metric.high_water)
+            rows[f"{path}.low_water"] = float(metric.low_water)
+        elif isinstance(metric, LatencySummary):
+            rows[f"{path}.count"] = float(metric.count)
+            if metric.count:
+                rows[f"{path}.mean"] = float(metric.mean)
+                rows[f"{path}.min"] = float(metric.minimum)
+                rows[f"{path}.max"] = float(metric.maximum)
+                rows[f"{path}.p95"] = float(metric.percentile(95))
+        elif isinstance(metric, ChannelUtilization):
+            rows[f"{path}.utilization"] = metric.utilization(until_ps)
+            rows[f"{path}.busy_ps"] = float(metric.busy_ps)
+            rows[f"{path}.transfers"] = float(metric.transfers)
+        elif isinstance(metric, PhasedStates):
+            for phase, fractions in metric.breakdowns().items():
+                for state, fraction in sorted(fractions.items()):
+                    rows[f"{path}.{phase}.frac.{state}"] = fraction
+        elif isinstance(metric, TimeWeightedStates):
+            for state, fraction in sorted(metric.breakdown(until_ps).items()):
+                rows[f"{path}.frac.{state}"] = fraction
+        elif isinstance(metric, FifoProbe):
+            fifo = metric.fifo
+            rows[f"{path}.level"] = float(fifo.level)
+            rows[f"{path}.capacity"] = float(fifo.capacity)
+            rows[f"{path}.high_water"] = float(fifo.high_water)
+            rows[f"{path}.mean_occupancy"] = fifo.mean_occupancy(until_ps)
+            self._flatten(rows, f"{path}.wait", metric.wait, until_ps)
+        else:
+            value = getattr(metric, "value", None)
+            if isinstance(value, (int, float)):
+                rows[path] = float(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricRegistry {len(self._metrics)} metrics>"

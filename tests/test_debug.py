@@ -38,6 +38,46 @@ class TestDiagnose:
         assert "req_work" in text
         assert "FULL" not in text
 
+    def test_deadlocked_process_shows_no_scheduled_wake(self, sim):
+        root = Component(sim, "root")
+        root.fifo = Fifo(sim, 1, name="wedge")
+        root.fifo.try_put("x")
+
+        def blocked():
+            yield root.fifo.put("y")  # nothing will ever drain it
+
+        root.process(blocked(), name="writer")
+        sim.run(until=1_000)
+        assert "no scheduled wake" in diagnose(root)
+
+    def test_sleeping_process_shows_wake_time(self, sim):
+        root = Component(sim, "root")
+
+        def sleeper():
+            yield sim.timeout(5_000)
+
+        root.process(sleeper(), name="napper")
+        sim.run(until=1_000)
+        text = diagnose(root)
+        assert "wakes at t=5000 ps" in text
+        assert "no scheduled wake" not in text
+
+    def test_fifo_high_water_reported_after_drain(self, sim):
+        root = Component(sim, "root")
+        root.fifo = Fifo(sim, 8, name="burst")
+        for i in range(6):
+            root.fifo.try_put(i)
+        while root.fifo.try_get() is not None:
+            pass
+
+        def idle():
+            yield sim.timeout(10)
+
+        root.process(idle(), name="p")
+        sim.run()
+        assert "burst: empty" in diagnose(root)
+        assert "high_water=6" in diagnose(root)
+
     def test_incomplete_transactions_filter(self, sim):
         done = read(0x0)
         done.t_done = 100

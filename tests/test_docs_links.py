@@ -51,12 +51,26 @@ def test_internal_links_resolve(doc):
     assert not broken, f"{doc.name}: broken links {broken}"
 
 
-def test_architecture_doc_references_only_real_modules():
-    """Every ``src/repro/...`` path mentioned anywhere in ARCHITECTURE.md
-    (links or inline code) must exist."""
-    doc = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+#: Docs that anchor their claims to source files: every ``src/repro/...``
+#: or ``tests/...`` path they mention (links or inline code) must exist.
+_ANCHORED_DOCS = ("ARCHITECTURE.md", "PERFORMANCE.md", "OBSERVABILITY.md")
+
+
+@pytest.mark.parametrize("name", _ANCHORED_DOCS)
+def test_docs_reference_only_real_modules(name):
+    doc = REPO_ROOT / "docs" / name
     text = doc.read_text()
-    paths = set(re.findall(r"src/repro/[\w/]+\.py", text))
-    assert paths, "ARCHITECTURE.md should anchor claims to module paths"
+    paths = set(re.findall(r"(?:src/repro|tests)/[\w/]+\.py", text))
+    assert paths, f"{name} should anchor claims to module paths"
     missing = [p for p in sorted(paths) if not (REPO_ROOT / p).is_file()]
-    assert not missing, f"ARCHITECTURE.md names missing modules: {missing}"
+    assert not missing, f"{name} names missing modules: {missing}"
+
+
+@pytest.mark.parametrize("name", _ANCHORED_DOCS)
+def test_docs_cross_link_each_other(name):
+    """The three deep-dive docs form a connected map: each links at least
+    one of the others, so a reader can navigate between them."""
+    text = (REPO_ROOT / "docs" / name).read_text()
+    others = [other for other in _ANCHORED_DOCS if other != name]
+    assert any(other in text for other in others), (
+        f"{name} links none of {others}")

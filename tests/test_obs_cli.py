@@ -1,0 +1,67 @@
+"""Tests for the observability CLI surface (trace/stats/--trace)."""
+
+import json
+
+from repro.cli import main
+
+
+class TestRunTraceFlag:
+    def test_run_with_trace_writes_perfetto_file(self, tmp_path, capsys):
+        out = tmp_path / "run.json"
+        status = main(["run", "s412", "--scale", "0.2",
+                       "--trace", str(out)])
+        assert status == 0
+        document = json.loads(out.read_text())
+        assert any(event["ph"] == "X" for event in document["traceEvents"])
+        assert f"to {out}" in capsys.readouterr().out
+
+
+class TestTraceCommand:
+    def test_trace_reports_hops_and_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        status = main(["trace", "s412", "--scale", "0.2",
+                       "--out", str(out)])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "end_to_end" in text
+        assert "arbitration" in text
+        document = json.loads(out.read_text())
+        assert document["traceEvents"]
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["trace", "nope"]) == 2
+
+
+class TestStatsCommand:
+    def test_terminal_dump_lists_metric_rows(self, capsys):
+        status = main(["stats", "s412", "--scale", "0.2"])
+        assert status == 0
+        text = capsys.readouterr().out
+        assert "metric rows" in text
+        assert ".latency.mean" in text
+
+    def test_json_and_csv_outputs(self, tmp_path, capsys):
+        json_path = tmp_path / "metrics.json"
+        csv_path = tmp_path / "metrics.csv"
+        status = main(["stats", "s412", "--scale", "0.2",
+                       "--json", str(json_path), "--csv", str(csv_path)])
+        assert status == 0
+        document = json.loads(json_path.read_text())
+        assert document["experiment"] == "s412"
+        assert document["sim_time_ps"] > 0
+        assert document["metrics"]
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "metric,value"
+        assert len(lines) == len(document["metrics"]) + 1
+
+    def test_prefix_filters_terminal_output(self, capsys):
+        status = main(["stats", "s412", "--scale", "0.2",
+                       "--prefix", "sim1.layer"])
+        assert status == 0
+        body = capsys.readouterr().out.split("\n\n", 1)[1]
+        lines = [line for line in body.splitlines() if line.strip()]
+        assert lines
+        assert all(line.startswith("sim1.layer.") for line in lines)
+
+    def test_unknown_experiment_fails(self, capsys):
+        assert main(["stats", "nope"]) == 2

@@ -1,0 +1,73 @@
+"""Bench guard: the instrumentation layer must cost nothing when disabled.
+
+The observability hooks follow the kernel's select-once discipline — with no
+active capture, ``sim._spans`` stays ``None``, no FIFO watcher is attached
+and no mark is recorded.  These tests pin that down against the PR 1 kernel
+baseline (``BENCH_kernel.json``):
+
+* **Hard, deterministic assertion** — disabled-tracing runs process exactly
+  the baseline's event counts and reach exactly its simulated times.  Any
+  hook that schedules events or perturbs ordering fails this immediately,
+  on any machine.
+* **Catastrophic wall-clock guard** — the smoke-scale throughput must stay
+  within a generous factor of the recorded baseline.  The authoritative 5%
+  events/sec gate is a full ``repro bench`` run against BENCH_kernel.json
+  (see docs/PERFORMANCE.md); a tight threshold here would just flake on
+  busy CI boxes.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import bench
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_kernel.json"
+
+#: Wall-clock may legitimately wobble on shared machines; only a collapse
+#: below this fraction of the recorded baseline throughput fails.
+CATASTROPHIC_FACTOR = 0.3
+
+#: Scenarios whose full-scale shape is pinned by the baseline file.
+GUARDED = ("timeout_storm", "platform_run")
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return json.loads(BASELINE_PATH.read_text())
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("scenario", GUARDED)
+def test_disabled_tracing_matches_baseline_event_counts(baseline, scenario):
+    events, sim_time = bench.SCENARIOS[scenario](1.0)
+    assert events == baseline[scenario]["events"], (
+        f"{scenario}: event count drifted from BENCH_kernel.json — "
+        "an observability hook is perturbing the simulation")
+    assert sim_time == baseline[scenario]["sim_time_ps"]
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("scenario", GUARDED)
+def test_disabled_tracing_throughput_not_collapsed(baseline, scenario):
+    results = bench.run_benchmarks(names=[scenario], repeats=3, scale=1.0)
+    measured = results[scenario]["events_per_sec"]
+    floor = baseline[scenario]["events_per_sec"] * CATASTROPHIC_FACTOR
+    assert measured >= floor, (
+        f"{scenario}: {measured:,.0f} events/s vs baseline "
+        f"{baseline[scenario]['events_per_sec']:,.0f} — tracing hooks are "
+        "taxing the disabled path; run 'repro bench' to confirm")
+
+
+@pytest.mark.bench_smoke
+def test_capture_only_adds_observation_not_events():
+    """With tracing *enabled* the simulation must still be identical —
+    capture observes event timing, it never schedules events of its own."""
+    from repro.obs import capture
+
+    plain = bench.SCENARIOS["platform_run"](1.0)
+    with capture() as cap:
+        traced = bench.SCENARIOS["platform_run"](1.0)
+    assert traced == plain
+    assert cap.completed(), "capture saw no transactions"

@@ -1,0 +1,142 @@
+"""Tests for the hierarchical metric registry (repro.obs.registry)."""
+
+import pytest
+
+from repro.core import Fifo, Gauge, Simulator
+from repro.obs.registry import FifoProbe, MetricRegistry
+
+
+class TestGauge:
+    def test_watermarks_track_extremes(self):
+        gauge = Gauge("g", initial=5)
+        gauge.set(9)
+        gauge.set(2)
+        gauge.add(1)
+        assert gauge.value == 3
+        assert gauge.high_water == 9
+        assert gauge.low_water == 2
+
+
+class TestRegistryBasics:
+    def test_lazy_singleton_on_simulator(self, sim):
+        assert sim._metrics is None
+        registry = sim.metrics
+        assert isinstance(registry, MetricRegistry)
+        assert sim.metrics is registry
+
+    def test_factories_register_by_path(self, sim):
+        metrics = sim.metrics
+        counter = metrics.counter("node.ip0.issued")
+        histogram = metrics.histogram("node.ip0.latency")
+        gauge = metrics.gauge("node.credits", initial=4)
+        assert metrics.get("node.ip0.issued") is counter
+        assert metrics.get("node.ip0.latency") is histogram
+        assert metrics.get("node.credits") is gauge
+        assert "node.ip0.issued" in metrics
+        assert len(metrics) == 3
+
+    def test_empty_path_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.metrics.counter("")
+
+    def test_collisions_get_deterministic_suffix(self, sim):
+        metrics = sim.metrics
+        first = metrics.counter("dup")
+        second = metrics.counter("dup")
+        third = metrics.counter("dup")
+        assert first is metrics.get("dup")
+        assert second is metrics.get("dup~2")
+        assert third is metrics.get("dup~3")
+
+    def test_subtree_selects_dotted_prefix(self, sim):
+        metrics = sim.metrics
+        metrics.counter("node.ip0.issued")
+        metrics.counter("node.ip1.issued")
+        metrics.counter("nodeish.other")
+        subtree = metrics.subtree("node")
+        assert set(subtree) == {"node.ip0.issued", "node.ip1.issued"}
+
+
+class TestSnapshot:
+    def test_counter_and_gauge_rows(self, sim):
+        metrics = sim.metrics
+        metrics.counter("hits").add(3)
+        gauge = metrics.gauge("level")
+        gauge.set(7)
+        gauge.set(2)
+        rows = metrics.snapshot()
+        assert rows["hits"] == 3.0
+        assert rows["level"] == 2.0
+        assert rows["level.high_water"] == 7.0
+
+    def test_histogram_rows(self, sim):
+        latency = sim.metrics.histogram("lat")
+        for value in (100, 200, 300):
+            latency.add(value)
+        rows = sim.metrics.snapshot()
+        assert rows["lat.count"] == 3.0
+        assert rows["lat.mean"] == 200.0
+        assert rows["lat.min"] == 100.0
+        assert rows["lat.max"] == 300.0
+
+    def test_empty_histogram_emits_only_count(self, sim):
+        sim.metrics.histogram("lat")
+        rows = sim.metrics.snapshot()
+        assert rows["lat.count"] == 0.0
+        assert "lat.mean" not in rows
+
+    def test_states_rows_sum_to_one(self, sim):
+        states = sim.metrics.states("unit", initial="idle")
+
+        def body():
+            yield sim.timeout(400)
+            states.set_state("busy")
+            yield sim.timeout(600)
+
+        sim.process(body())
+        sim.run()
+        rows = sim.metrics.snapshot(until_ps=1_000)
+        assert rows["unit.frac.idle"] == pytest.approx(0.4)
+        assert rows["unit.frac.busy"] == pytest.approx(0.6)
+
+
+class TestFifoProbe:
+    def test_waiting_times_pair_level_changes(self, sim):
+        fifo = Fifo(sim, 4, name="f")
+        probe = sim.metrics.fifo("f", fifo)
+        assert isinstance(probe, FifoProbe)
+
+        def body():
+            fifo.try_put("a")
+            yield sim.timeout(100)
+            fifo.try_put("b")
+            yield sim.timeout(150)
+            assert fifo.try_get() == "a"   # waited 250
+            yield sim.timeout(50)
+            assert fifo.try_get() == "b"   # waited 200
+
+        sim.process(body())
+        sim.run()
+        assert probe.wait.count == 2
+        assert sorted(probe.wait.samples) == [200, 250]
+
+    def test_snapshot_rows_include_occupancy_and_waits(self, sim):
+        fifo = Fifo(sim, 4, name="f")
+        sim.metrics.fifo("lmi.input", fifo)
+        fifo.try_put("a")
+        rows = sim.metrics.snapshot()
+        assert rows["lmi.input.level"] == 1.0
+        assert rows["lmi.input.capacity"] == 4.0
+        assert rows["lmi.input.high_water"] == 1.0
+        assert rows["lmi.input.wait.count"] == 0.0
+
+
+class TestFifoHighWater:
+    def test_high_water_survives_drain(self, sim):
+        fifo = Fifo(sim, 8, name="f")
+        for item in range(5):
+            fifo.try_put(item)
+        for _ in range(5):
+            fifo.try_get()
+        assert fifo.level == 0
+        assert fifo.high_water == 5

@@ -63,7 +63,75 @@ class TestSignals:
         assert len(idents) == 200
 
 
+class TestIdentifierAllocation:
+    """The identifier scheme is bijective base-94 over printable ASCII."""
+
+    def test_first_identifiers_follow_the_alphabet(self):
+        assert VcdWriter._make_ident(0) == "!"
+        assert VcdWriter._make_ident(1) == '"'
+        assert VcdWriter._make_ident(93) == "~"
+
+    def test_rollover_to_two_characters(self):
+        assert VcdWriter._make_ident(94) == "!!"
+        assert VcdWriter._make_ident(95) == '!"'
+        assert VcdWriter._make_ident(94 + 94 * 94) == "!!!"
+
+    def test_register_assigns_identifiers_in_sequence(self, sim, tmp_path):
+        vcd = VcdWriter(sim, tmp_path / "w.vcd")
+        signals = [vcd.register(f"s{i}") for i in range(3)]
+        assert [s.ident for s in signals] == ["!", '"', "#"]
+
+    def test_no_collisions_across_rollover(self):
+        idents = [VcdWriter._make_ident(i) for i in range(94 * 3)]
+        assert len(set(idents)) == len(idents)
+        assert all(1 <= len(ident) <= 2 for ident in idents)
+
+
+class TestValueEncoding:
+    def test_zero_value_vector_encoding(self, sim, tmp_path):
+        path = tmp_path / "w.vcd"
+        vcd = VcdWriter(sim, path)
+        signal = vcd.register("v", width=4)
+        signal.set(3)
+        signal.set(0)
+        vcd.close()
+        text = path.read_text()
+        assert "b11 !" in text
+        assert "b0 !" in text
+
+    def test_zero_value_scalar_encoding(self, sim, tmp_path):
+        path = tmp_path / "w.vcd"
+        vcd = VcdWriter(sim, path)
+        signal = vcd.register("bit", width=1)
+        signal.set(1)
+        signal.set(0)
+        vcd.close()
+        text = path.read_text()
+        assert "1!" in text and "0!" in text
+
+    def test_initial_none_means_first_set_always_records(self, sim,
+                                                         tmp_path):
+        vcd = VcdWriter(sim, tmp_path / "w.vcd")
+        signal = vcd.register("v", width=2)
+        signal.set(0)  # must record even though 0 is the usual reset value
+        assert len(vcd._changes) == 1
+
+
 class TestFifoTracing:
+    def test_attach_fifo_sizes_width_to_capacity(self, sim, tmp_path):
+        vcd = VcdWriter(sim, tmp_path / "w.vcd")
+        assert vcd.attach_fifo(Fifo(sim, 1, name="a"), "a").width == 1
+        assert vcd.attach_fifo(Fifo(sim, 4, name="b"), "b").width == 3
+        assert vcd.attach_fifo(Fifo(sim, 8, name="c"), "c").width == 4
+
+    def test_attach_fifo_records_initial_level(self, sim, tmp_path):
+        vcd = VcdWriter(sim, tmp_path / "w.vcd")
+        fifo = Fifo(sim, 4, name="f")
+        fifo.try_put("x")
+        signal = vcd.attach_fifo(fifo, "f")
+        assert signal._last == 1
+        assert vcd._changes[-1][2] == 1
+
     def test_fifo_levels_recorded(self, sim, tmp_path):
         path = tmp_path / "fifo.vcd"
         vcd = VcdWriter(sim, path)

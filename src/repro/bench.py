@@ -125,11 +125,34 @@ def platform_run(scale: float = 1.0) -> Tuple[int, int]:
     return sim.processed_events, sim.now
 
 
+def sweep_fanout(scale: float = 1.0) -> Tuple[int, int]:
+    """A small design-space sweep fanned out over two worker processes.
+
+    Measures the sweep engine's end-to-end cost — config serialisation,
+    pool dispatch and result aggregation — on top of the simulations
+    themselves.  Caching is disabled so every repeat actually simulates;
+    the per-config event counts are summed, so the scenario is exactly as
+    deterministic as the serial path it fans out (``tests/test_sweep.py``
+    pins the 2-job/serial identity per configuration).
+    """
+    from .platforms import quick_config
+    from .sweep import sweep as run_sweep
+
+    points = max(2, int(4 * scale))
+    configs = [quick_config(traffic_scale=0.05 + 0.02 * i)
+               for i in range(points)]
+    outcomes = run_sweep(configs, max_ps=10**13, jobs=2, cache=False)
+    events = sum(outcome.events for outcome in outcomes)
+    sim_time = max(outcome.sim_time_ps for outcome in outcomes)
+    return events, sim_time
+
+
 SCENARIOS: Dict[str, Scenario] = {
     "timeout_storm": timeout_storm,
     "fifo_pipeline": fifo_pipeline,
     "clock_edges": clock_edges,
     "platform_run": platform_run,
+    "sweep_fanout": sweep_fanout,
 }
 
 

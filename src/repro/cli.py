@@ -4,9 +4,10 @@
 
     python -m repro list                         # available experiments
     python -m repro run fig5 --scale 0.5         # run one, print the figure
-    python -m repro run all                      # the whole evaluation
+    python -m repro run all --jobs 4             # the whole evaluation, parallel
     python -m repro run fig5 --trace out.json    # ... with a Perfetto trace
     python -m repro platform my_platform.json    # simulate a config file
+    python -m repro sweep my_sweep.json --jobs 4 # design-space sweep file
     python -m repro trace fig5                   # lifecycle trace + hop table
     python -m repro stats fig6 --json out.json   # flat metric dump
     python -m repro bench                        # kernel perf -> BENCH_kernel.json
@@ -15,6 +16,8 @@ Each experiment prints the paper-style report and the outcome of its shape
 checks; the process exits non-zero if any claim fails, so the CLI is
 usable in CI.  ``trace``/``stats`` (and the ``--trace`` flag) run the
 experiment under an observability capture — see ``docs/OBSERVABILITY.md``.
+``--jobs``/``sweep`` fan independent configurations out across worker
+processes with on-disk result caching — see ``docs/PERFORMANCE.md``.
 """
 
 from __future__ import annotations
@@ -32,54 +35,56 @@ Registry = Dict[str, Tuple[str, Callable]]
 
 
 def _wrap(module, **fixed):
-    def runner(scale: float):
-        data = module.run(traffic_scale=scale, **fixed)
+    def runner(scale: float, jobs: Optional[int] = None):
+        data = module.run(traffic_scale=scale, jobs=jobs, **fixed)
         return data, module.report(data), module.check(data)
     return runner
 
 
 def _wrap_single_layer_m2m():
-    def runner(scale: float):
+    def runner(scale: float, jobs: Optional[int] = None):
         transactions = max(8, int(50 * scale))
         data = experiments.single_layer.run_many_to_many(
-            transactions=transactions)
+            transactions=transactions, jobs=jobs)
         return (data, experiments.single_layer.report_many_to_many(data),
                 experiments.single_layer.check_many_to_many(data))
     return runner
 
 
 def _wrap_single_layer_m2o():
-    def runner(scale: float):
+    def runner(scale: float, jobs: Optional[int] = None):
         transactions = max(8, int(60 * scale))
         data = experiments.single_layer.run_many_to_one(
-            transactions=transactions)
+            transactions=transactions, jobs=jobs)
         return (data, experiments.single_layer.report_many_to_one(data),
                 experiments.single_layer.check_many_to_one(data))
     return runner
 
 
 def _wrap_arbitration():
-    def runner(scale: float):
+    def runner(scale: float, jobs: Optional[int] = None):
         transactions = max(8, int(40 * scale))
-        data = experiments.arbitration_study.run(transactions=transactions)
+        data = experiments.arbitration_study.run(transactions=transactions,
+                                                 jobs=jobs)
         return (data, experiments.arbitration_study.report(data),
                 experiments.arbitration_study.check(data))
     return runner
 
 
 def _wrap_segmentation():
-    def runner(scale: float):
+    def runner(scale: float, jobs: Optional[int] = None):
         transactions = max(8, int(20 * scale))
-        data = experiments.path_segmentation.run(transactions=transactions)
+        data = experiments.path_segmentation.run(transactions=transactions,
+                                                 jobs=jobs)
         return (data, experiments.path_segmentation.report(data),
                 experiments.path_segmentation.check(data))
     return runner
 
 
 def _wrap_io_qos():
-    def runner(scale: float):
+    def runner(scale: float, jobs: Optional[int] = None):
         lines = max(10, int(40 * scale))
-        data = experiments.io_qos.run(lines=lines)
+        data = experiments.io_qos.run(lines=lines, jobs=jobs)
         return (data, experiments.io_qos.report(data),
                 experiments.io_qos.check(data))
     return runner
@@ -125,34 +130,50 @@ def cmd_run(args) -> int:
         print(f"unknown experiment(s): {unknown}; try 'list'",
               file=sys.stderr)
         return 2
+    if getattr(args, "trace", None) and (args.jobs or 0) > 1:
+        print("note: --trace captures only in-process simulators; "
+              "running serially", file=sys.stderr)
     session = _start_capture(args)
     status = 0
-    for name in names:
-        description, runner = table[name]
-        print(f"\n### {name}: {description}\n")
-        __, report, failures = runner(args.scale)
-        print(report)
-        if failures:
-            status = 1
-            print("\nFAILED shape claims:")
-            for failure in failures:
-                print(f"  - {failure}")
-        else:
-            print("\nall shape claims hold")
-    _finish_capture(args, session)
+    # finally: even when a runner raises, the ambient capture hook must
+    # be uninstalled (it is process-wide) and the trace file written.
+    try:
+        for name in names:
+            description, runner = table[name]
+            print(f"\n### {name}: {description}\n")
+            __, report, failures = runner(args.scale, args.jobs)
+            print(report)
+            if failures:
+                status = 1
+                print("\nFAILED shape claims:")
+                for failure in failures:
+                    print(f"  - {failure}")
+            else:
+                print("\nall shape claims hold")
+    finally:
+        _finish_capture(args, session)
     return status
 
 
 def cmd_platform(args) -> int:
     from .core import Simulator
     from .platforms import build_platform
-    from .platforms.loader import load_config
+    from .platforms.loader import ConfigError, load_config
 
-    config = load_config(args.config)
+    try:
+        config = load_config(args.config)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     session = _start_capture(args)
-    sim = Simulator()
-    platform = build_platform(sim, config)
-    result = platform.run(max_ps=args.max_us * 1_000_000)
+    # finally: a failing run must still uninstall the process-wide
+    # capture hook and write the trace collected so far.
+    try:
+        sim = Simulator()
+        platform = build_platform(sim, config)
+        result = platform.run(max_ps=args.max_us * 1_000_000)
+    finally:
+        _finish_capture(args, session)
     print(f"platform:        {config.label()}")
     print(f"execution time:  {result.execution_time_ps / 1_000_000:.3f} us")
     print(f"transactions:    {result.transactions}")
@@ -165,7 +186,6 @@ def cmd_platform(args) -> int:
 
         results_to_csv(args.csv, [result])
         print(f"\nwrote {args.csv}")
-    _finish_capture(args, session)
     return 0
 
 
@@ -242,6 +262,49 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def cmd_sweep(args) -> int:
+    import dataclasses
+
+    from .platforms.loader import ConfigError
+    from .sweep import SweepCache, SweepError, load_sweep, sweep
+
+    try:
+        spec = load_sweep(args.spec)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    jobs = args.jobs if args.jobs is not None else spec.jobs
+    if args.no_cache:
+        cache = False
+    elif args.cache_dir:
+        cache = SweepCache(args.cache_dir)
+    else:
+        cache = None  # the default on-disk cache
+    try:
+        outcomes = sweep(spec.configs, max_ps=spec.max_ps, jobs=jobs,
+                         cache=cache, timeout_s=args.timeout)
+    except SweepError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    results = [dataclasses.replace(outcome.result, label=label)
+               for label, outcome in zip(spec.labels, outcomes)]
+    rows = [[label, result.execution_time_ns, result.transactions,
+             result.throughput_bytes_per_ns,
+             "hit" if outcome.cached else "run"]
+            for label, outcome, result in zip(spec.labels, outcomes, results)]
+    print(format_table(
+        ["point", "exec (ns)", "transactions", "B/ns", "cache"], rows))
+    hits = sum(1 for outcome in outcomes if outcome.cached)
+    print(f"\n{len(outcomes)} point(s), {hits} served from cache, "
+          f"jobs={jobs or 1}")
+    if args.csv:
+        from .analysis import results_to_csv
+
+        results_to_csv(args.csv, results)
+        print(f"wrote {args.csv}")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from . import bench
 
@@ -275,6 +338,9 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--trace", metavar="PATH",
                             help="capture transaction lifecycles and write "
                                  "a Perfetto trace_event JSON file")
+    run_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes for multi-config "
+                                 "experiments (default $REPRO_JOBS or 1)")
     run_parser.set_defaults(func=cmd_run)
 
     plat_parser = sub.add_parser("platform",
@@ -287,6 +353,28 @@ def build_parser() -> argparse.ArgumentParser:
                              help="capture transaction lifecycles and write "
                                   "a Perfetto trace_event JSON file")
     plat_parser.set_defaults(func=cmd_platform)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="run a design-space sweep file across worker "
+                      "processes with result caching")
+    sweep_parser.add_argument("spec", help="sweep JSON (base/points/grid; "
+                                           "see docs/PERFORMANCE.md)")
+    sweep_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                              help="worker processes (default: the file's "
+                                   "'jobs', else $REPRO_JOBS, else 1)")
+    sweep_parser.add_argument("--timeout", type=float, default=None,
+                              metavar="S",
+                              help="per-job wall-clock timeout in seconds")
+    sweep_parser.add_argument("--csv", metavar="PATH",
+                              help="write one result row per point to CSV")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="re-simulate every point, bypassing the "
+                                   "on-disk result cache")
+    sweep_parser.add_argument("--cache-dir", metavar="DIR",
+                              help="cache directory (default "
+                                   "$REPRO_SWEEP_CACHE or "
+                                   "~/.cache/repro/sweeps)")
+    sweep_parser.set_defaults(func=cmd_sweep)
 
     trace_parser = sub.add_parser(
         "trace", help="run an experiment under lifecycle tracing and "

@@ -26,7 +26,13 @@ from . import (
     path_segmentation,
     single_layer,
 )
-from .common import normalized, run_config, run_config_with_platform
+from .common import (
+    normalized,
+    run_config,
+    run_config_with_platform,
+    run_configs,
+    set_default_jobs,
+)
 
 __all__ = [
     "ablations",
@@ -40,5 +46,7 @@ __all__ = [
     "path_segmentation",
     "run_config",
     "run_config_with_platform",
+    "run_configs",
+    "set_default_jobs",
     "single_layer",
 ]

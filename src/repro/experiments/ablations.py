@@ -30,13 +30,13 @@ Each ablation isolates one mechanism the guidelines call out:
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..memory.lmi import LmiConfig
 from ..platforms.config import PlatformConfig
 from ..platforms.variants import instance, lmi_memory
-from .common import claim, run_config
+from .common import claim, run_configs
 
 
 def _with_outstanding(config: PlatformConfig, depth: int) -> PlatformConfig:
@@ -47,69 +47,58 @@ def _with_outstanding(config: PlatformConfig, depth: int) -> PlatformConfig:
     return config.scaled(clusters=clusters)
 
 
-def run(traffic_scale: float = 0.5) -> Dict:
-    """Run every ablation; returns one result table per mechanism."""
-    data: Dict = {}
+def _plan(traffic_scale: float) -> List[Tuple[str, object, PlatformConfig]]:
+    """Every ablation point as ``(section, key, config)`` — one flat list
+    so the whole study fans out through a single :func:`run_configs` call.
+    """
+    plan: List[Tuple[str, object, PlatformConfig]] = []
 
     # -- bridge split capability (distributed AXI) ----------------------
     base_axi = instance("axi", "distributed", lmi_memory(),
                         traffic_scale=traffic_scale)
-    data["bridge_split"] = {
-        "blocking_bridges": run_config(base_axi),
-        "split_bridges": run_config(base_axi.scaled(
-            bridge_split_override=True, lmi_bridge_split=True)),
-        "stbus_reference": run_config(instance(
-            "stbus", "distributed", lmi_memory(),
-            traffic_scale=traffic_scale)),
-    }
+    plan.append(("bridge_split", "blocking_bridges", base_axi))
+    plan.append(("bridge_split", "split_bridges", base_axi.scaled(
+        bridge_split_override=True, lmi_bridge_split=True)))
+    plan.append(("bridge_split", "stbus_reference", instance(
+        "stbus", "distributed", lmi_memory(), traffic_scale=traffic_scale)))
 
     # -- initiator max outstanding (distributed STBus + LMI) -------------
     base_stbus = instance("stbus", "distributed", lmi_memory(),
                           traffic_scale=traffic_scale)
-    data["max_outstanding"] = {
-        depth: run_config(_with_outstanding(base_stbus, depth))
-        for depth in (1, 2, 4, 8)
-    }
+    for depth in (1, 2, 4, 8):
+        plan.append(("max_outstanding", depth,
+                     _with_outstanding(base_stbus, depth)))
 
     # -- LMI optimisation engine -----------------------------------------
     dumb = lmi_memory(LmiConfig(lookahead_depth=1, merge_limit=1))
     smart = lmi_memory(LmiConfig(lookahead_depth=4, merge_limit=4))
-    data["lmi_optimisations"] = {
-        "fifo_order_no_merge": run_config(instance(
-            "stbus", "distributed", dumb, traffic_scale=traffic_scale)),
-        "lookahead_and_merge": run_config(instance(
-            "stbus", "distributed", smart, traffic_scale=traffic_scale)),
-    }
+    plan.append(("lmi_optimisations", "fifo_order_no_merge", instance(
+        "stbus", "distributed", dumb, traffic_scale=traffic_scale)))
+    plan.append(("lmi_optimisations", "lookahead_and_merge", instance(
+        "stbus", "distributed", smart, traffic_scale=traffic_scale)))
 
     # -- message arbitration ----------------------------------------------
-    data["message_arbitration"] = {
-        "packet_granularity": run_config(instance(
-            "stbus", "distributed", lmi_memory(),
-            traffic_scale=traffic_scale, message_arbitration=False)),
-        "message_granularity": run_config(instance(
-            "stbus", "distributed", lmi_memory(),
-            traffic_scale=traffic_scale, message_arbitration=True)),
-    }
+    plan.append(("message_arbitration", "packet_granularity", instance(
+        "stbus", "distributed", lmi_memory(),
+        traffic_scale=traffic_scale, message_arbitration=False)))
+    plan.append(("message_arbitration", "message_granularity", instance(
+        "stbus", "distributed", lmi_memory(),
+        traffic_scale=traffic_scale, message_arbitration=True)))
 
     # -- LMI input FIFO depth ----------------------------------------------
-    data["lmi_fifo_depth"] = {}
     for depth in (1, 2, 4, 8):
         memory = lmi_memory(LmiConfig(input_fifo_depth=depth,
                                       lookahead_depth=min(4, depth)))
-        data["lmi_fifo_depth"][depth] = run_config(instance(
-            "stbus", "distributed", memory, traffic_scale=traffic_scale))
+        plan.append(("lmi_fifo_depth", depth, instance(
+            "stbus", "distributed", memory, traffic_scale=traffic_scale)))
 
     # -- read priority over posted writes -----------------------------------
-    data["read_priority"] = {
-        "fifo_order": run_config(instance(
-            "stbus", "distributed",
-            lmi_memory(LmiConfig(read_priority=False)),
-            traffic_scale=traffic_scale)),
-        "reads_bypass_writes": run_config(instance(
-            "stbus", "distributed",
-            lmi_memory(LmiConfig(read_priority=True)),
-            traffic_scale=traffic_scale)),
-    }
+    plan.append(("read_priority", "fifo_order", instance(
+        "stbus", "distributed", lmi_memory(LmiConfig(read_priority=False)),
+        traffic_scale=traffic_scale)))
+    plan.append(("read_priority", "reads_bypass_writes", instance(
+        "stbus", "distributed", lmi_memory(LmiConfig(read_priority=True)),
+        traffic_scale=traffic_scale)))
 
     # -- SDR vs DDR device --------------------------------------------------
     # "The controller can drive both SDR SDRAM and DDR SDRAM memory
@@ -117,17 +106,22 @@ def run(traffic_scale: float = 0.5) -> Dict:
     from ..memory.timing import DDR_SDRAM, SDR_SDRAM
     from ..platforms.config import MemoryConfig
 
-    data["sdram_device"] = {
-        "sdr": run_config(instance(
-            "stbus", "distributed",
-            MemoryConfig(kind="lmi", sdram=SDR_SDRAM),
-            traffic_scale=traffic_scale)),
-        "ddr": run_config(instance(
-            "stbus", "distributed",
-            MemoryConfig(kind="lmi", sdram=DDR_SDRAM),
-            traffic_scale=traffic_scale)),
-    }
+    plan.append(("sdram_device", "sdr", instance(
+        "stbus", "distributed", MemoryConfig(kind="lmi", sdram=SDR_SDRAM),
+        traffic_scale=traffic_scale)))
+    plan.append(("sdram_device", "ddr", instance(
+        "stbus", "distributed", MemoryConfig(kind="lmi", sdram=DDR_SDRAM),
+        traffic_scale=traffic_scale)))
+    return plan
 
+
+def run(traffic_scale: float = 0.5, jobs: Optional[int] = None) -> Dict:
+    """Run every ablation; returns one result table per mechanism."""
+    plan = _plan(traffic_scale)
+    results = run_configs([config for _, __, config in plan], jobs=jobs)
+    data: Dict = {}
+    for (section, key, _), result in zip(plan, results):
+        data.setdefault(section, {})[key] = result
     return data
 
 

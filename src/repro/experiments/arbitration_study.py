@@ -16,7 +16,7 @@ steering bandwidth by ticket share.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..core.kernel import Simulator
@@ -29,9 +29,10 @@ from ..interconnect.arbiter import (
 from ..interconnect.stbus import StbusNode
 from ..interconnect.types import AddressRange, StbusType
 from ..memory.onchip import OnChipMemory
+from ..sweep import parallel_map
 from ..traffic.iptg import Iptg, IptgPhase
 from ..traffic.patterns import Fixed, Sequential
-from .common import claim
+from .common import claim, get_default_jobs
 
 _REGION = 1 << 16
 
@@ -79,10 +80,20 @@ def _run_policy(arbiter, initiators: int, transactions: int) -> Dict:
     }
 
 
-def run(initiators: int = 6, transactions: int = 40) -> Dict:
+def _policy_job(payload: Tuple[str, int, int]) -> Dict:
+    """Picklable worker: the arbiter is rebuilt by name inside the job."""
+    name, initiators, transactions = payload
+    return _run_policy(_make_arbiters()[name], initiators, transactions)
+
+
+def run(initiators: int = 6, transactions: int = 40,
+        jobs: Optional[int] = None) -> Dict:
     """Run every policy on the same saturated many-to-one workload."""
-    return {name: _run_policy(arbiter, initiators, transactions)
-            for name, arbiter in _make_arbiters().items()}
+    names = list(_make_arbiters())
+    results = parallel_map(
+        _policy_job, [(name, initiators, transactions) for name in names],
+        jobs=get_default_jobs() if jobs is None else jobs)
+    return dict(zip(names, results))
 
 
 def report(data: Dict) -> str:

@@ -12,19 +12,44 @@ Every experiment module exposes
 
 The benchmark harness calls ``run`` under pytest-benchmark and asserts
 ``check`` comes back clean.
+
+Multi-configuration loops route through :func:`run_configs`, which hands
+the independent points to the :mod:`repro.sweep` engine — parallel worker
+processes when ``jobs > 1`` (or ``$REPRO_JOBS`` is set), with completed
+points cached on disk so repeated runs skip already-simulated
+configurations.  Results are deterministic and identical to the serial
+path either way.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..analysis.metrics import RunResult
 from ..core.kernel import Simulator
 from ..platforms.config import PlatformConfig
 from ..platforms.reference import PlatformInstance, build_platform
+from ..sweep import DEFAULT_MAX_PS, default_jobs, sweep
 
-#: Default wall-clock guard for platform runs (simulated picoseconds).
-DEFAULT_MAX_PS = 20_000_000_000_000
+#: Process-wide default worker count override (set by the CLI ``--jobs``).
+_jobs_override: Optional[int] = None
+
+
+def set_default_jobs(jobs: Optional[int]) -> None:
+    """Set the worker count used when an experiment gets ``jobs=None``.
+
+    ``None`` restores the environment default (``$REPRO_JOBS`` or serial).
+    The CLI calls this once so every experiment an invocation touches
+    inherits its ``--jobs`` flag without threading it through each
+    ``run()`` signature twice.
+    """
+    global _jobs_override
+    _jobs_override = None if jobs is None else max(1, int(jobs))
+
+
+def get_default_jobs() -> int:
+    """The effective worker count for ``jobs=None`` callers."""
+    return _jobs_override if _jobs_override is not None else default_jobs()
 
 
 def run_config(config: PlatformConfig,
@@ -33,6 +58,22 @@ def run_config(config: PlatformConfig,
     sim = Simulator()
     platform = build_platform(sim, config)
     return platform.run(max_ps=max_ps)
+
+
+def run_configs(configs: Iterable[PlatformConfig],
+                max_ps: int = DEFAULT_MAX_PS,
+                jobs: Optional[int] = None,
+                cache=None) -> List[RunResult]:
+    """Run many independent configurations; results in input order.
+
+    The parallel/caching behaviour lives in :func:`repro.sweep.sweep`;
+    this is the thin map every experiment's multi-config loop goes
+    through.  ``jobs=None`` uses the CLI/environment default.
+    """
+    outcomes = sweep(list(configs), max_ps=max_ps,
+                     jobs=get_default_jobs() if jobs is None else jobs,
+                     cache=cache)
+    return [outcome.result for outcome in outcomes]
 
 
 def run_config_with_platform(config: PlatformConfig,
@@ -46,12 +87,20 @@ def run_config_with_platform(config: PlatformConfig,
 
 def normalized(results: Dict[str, RunResult],
                baseline: Optional[str] = None) -> Dict[str, float]:
-    """Execution times normalised to ``baseline`` (default: first key)."""
+    """Execution times normalised to ``baseline`` (default: first key).
+
+    A zero-time baseline (a degenerate or failed run) yields ``inf`` for
+    every non-zero entry instead of raising ``ZeroDivisionError``; a
+    zero-time entry over a zero baseline is reported as ``1.0`` (equal).
+    """
     if not results:
         return {}
     if baseline is None:
         baseline = next(iter(results))
     base = results[baseline].execution_time_ps
+    if base == 0:
+        return {label: 1.0 if r.execution_time_ps == 0 else float("inf")
+                for label, r in results.items()}
     return {label: r.execution_time_ps / base for label, r in results.items()}
 
 

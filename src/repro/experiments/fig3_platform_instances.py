@@ -15,22 +15,21 @@ Paper shape:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.report import bar_chart
 from ..platforms.variants import fig3_instances
-from .common import claim, normalized, run_config
+from .common import claim, normalized, run_configs
 
 #: Order the bars appear in the figure.
 BAR_ORDER = ("collapsed_axi", "collapsed_stbus", "full_stbus", "full_ahb",
              "distributed_axi")
 
 
-def run(traffic_scale: float = 1.0) -> Dict:
+def run(traffic_scale: float = 1.0, jobs: Optional[int] = None) -> Dict:
     """Simulate the five platform instances of Fig. 3."""
-    results = {}
-    for label, config in fig3_instances(traffic_scale=traffic_scale).items():
-        results[label] = run_config(config)
+    instances = fig3_instances(traffic_scale=traffic_scale)
+    results = dict(zip(instances, run_configs(instances.values(), jobs=jobs)))
     return {"results": results,
             "normalized": normalized(results, baseline="collapsed_axi")}
 

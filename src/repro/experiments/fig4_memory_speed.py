@@ -20,22 +20,26 @@ from typing import Dict, List, Optional
 
 from ..analysis.report import format_table
 from ..platforms.variants import fig4_pair
-from .common import claim, run_config
+from .common import claim, run_configs
 
 DEFAULT_LATENCIES = (0, 2, 4, 8, 16, 32)
 
 
 def run(latencies: Optional[List[int]] = None,
-        traffic_scale: float = 0.5) -> Dict:
+        traffic_scale: float = 0.5, jobs: Optional[int] = None) -> Dict:
     """Sweep memory response latency for both topologies."""
     if latencies is None:
         latencies = list(DEFAULT_LATENCIES)
+    # Flatten the (latency x topology) grid into one fan-out, then regroup.
+    grid = [(latency, label, config) for latency in latencies
+            for label, config in
+            fig4_pair(latency, traffic_scale=traffic_scale).items()]
+    results = run_configs([config for _, __, config in grid], jobs=jobs)
     series = []
     for latency in latencies:
-        pair = {}
-        for label, config in fig4_pair(latency,
-                                       traffic_scale=traffic_scale).items():
-            pair[label] = run_config(config)
+        pair = {label: result
+                for (lat, label, _), result in zip(grid, results)
+                if lat == latency}
         series.append({
             "latency": latency,
             "collapsed": pair["collapsed"],

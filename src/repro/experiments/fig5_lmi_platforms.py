@@ -17,21 +17,20 @@ Paper shape:
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.report import bar_chart
 from ..platforms.variants import fig5_instances
-from .common import claim, normalized, run_config
+from .common import claim, normalized, run_configs
 
 BAR_ORDER = ("distributed_stbus", "collapsed_stbus", "collapsed_axi",
              "distributed_ahb")
 
 
-def run(traffic_scale: float = 1.0) -> Dict:
+def run(traffic_scale: float = 1.0, jobs: Optional[int] = None) -> Dict:
     """Simulate the four LMI platform instances of Fig. 5."""
-    results = {}
-    for label, config in fig5_instances(traffic_scale=traffic_scale).items():
-        results[label] = run_config(config)
+    instances = fig5_instances(traffic_scale=traffic_scale)
+    results = dict(zip(instances, run_configs(instances.values(), jobs=jobs)))
     return {"results": results,
             "normalized": normalized(results, baseline="distributed_stbus")}
 

@@ -19,15 +19,17 @@ controller."
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from dataclasses import replace
 
 from ..analysis.fifo_monitor import STATE_FULL, STATE_IDLE, STATE_STORING
 from ..analysis.report import breakdown_chart
 from ..platforms.config import TwoPhaseSpec, reference_clusters
+from ..platforms.loader import config_from_dict, config_to_dict
 from ..platforms.variants import instance, lmi_memory
-from .common import claim, run_config_with_platform
+from ..sweep import parallel_map
+from .common import claim, get_default_jobs, run_config_with_platform
 
 
 def _moderated_clusters(idle_scale: int, phase_time_ns: int = 60_000):
@@ -55,7 +57,18 @@ def _moderated_clusters(idle_scale: int, phase_time_ns: int = 60_000):
     return tuple(clusters)
 
 
-def run(traffic_scale: float = 1.0, idle_scale: int = 26) -> Dict:
+def _monitor_report(document: Dict) -> Dict:
+    """Worker body: run one config and return its LMI FIFO phase report.
+
+    Takes the serialised config document (not the dataclass) so the job
+    can cross a process boundary through the loader round trip.
+    """
+    _result, platform = run_config_with_platform(config_from_dict(document))
+    return platform.monitor.report()
+
+
+def run(traffic_scale: float = 1.0, idle_scale: int = 26,
+        jobs: Optional[int] = None) -> Dict:
     """Run the two-phase full STBus platform and the full AHB comparison."""
     memory = lmi_memory()
     two_phase = TwoPhaseSpec(fraction=0.7, idle_multiplier=1.2, burst_run=40)
@@ -64,12 +77,11 @@ def run(traffic_scale: float = 1.0, idle_scale: int = 26) -> Dict:
                          traffic_scale=traffic_scale, two_phase=two_phase)
     ahb_cfg = instance("ahb", "distributed", memory, clusters=clusters,
                        traffic_scale=traffic_scale, two_phase=two_phase)
-    _result, stbus_platform = run_config_with_platform(stbus_cfg)
-    _result2, ahb_platform = run_config_with_platform(ahb_cfg)
-    return {
-        "stbus": stbus_platform.monitor.report(),
-        "ahb": ahb_platform.monitor.report(),
-    }
+    reports = parallel_map(
+        _monitor_report,
+        [config_to_dict(stbus_cfg), config_to_dict(ahb_cfg)],
+        jobs=get_default_jobs() if jobs is None else jobs)
+    return {"stbus": reports[0], "ahb": reports[1]}
 
 
 def report(data: Dict) -> str:

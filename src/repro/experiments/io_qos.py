@@ -19,7 +19,7 @@ architectural knob removes it.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..core.kernel import Simulator
@@ -29,7 +29,8 @@ from ..interconnect.arbiter import FixedPriority, RoundRobin
 from ..interconnect.stbus import StbusNode
 from ..interconnect.types import AddressRange, StbusType
 from ..memory.lmi import LmiConfig, LmiController
-from .common import claim
+from ..sweep import parallel_map
+from .common import claim, get_default_jobs
 
 _SPAN = 1 << 24
 _FRAMEBUFFER = 0x0010_0000
@@ -76,13 +77,20 @@ def _run_variant(policy: str, line_period_cycles: int = 330,
     }
 
 
-def run(line_period_cycles: int = 330, lines: int = 40) -> Dict:
+def _variant_job(payload: Tuple[str, int, int]) -> Dict:
+    policy, line_period_cycles, lines = payload
+    return _run_variant(policy, line_period_cycles, lines)
+
+
+def run(line_period_cycles: int = 330, lines: int = 40,
+        jobs: Optional[int] = None) -> Dict:
     """Both I/O architectures under the same contention."""
-    return {
-        "round_robin": _run_variant("round_robin", line_period_cycles,
-                                    lines),
-        "priority": _run_variant("priority", line_period_cycles, lines),
-    }
+    policies = ("round_robin", "priority")
+    results = parallel_map(
+        _variant_job,
+        [(policy, line_period_cycles, lines) for policy in policies],
+        jobs=get_default_jobs() if jobs is None else jobs)
+    return dict(zip(policies, results))
 
 
 def report(data: Dict) -> str:

@@ -19,7 +19,7 @@ for pushing complexity to the boundaries.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from ..analysis.report import format_table
 from ..bridge.genconv import GenConvBridge
@@ -28,7 +28,10 @@ from ..core.kernel import Simulator
 from ..interconnect.stbus import StbusNode
 from ..interconnect.types import AddressRange, StbusType
 from ..memory.onchip import OnChipMemory
-from .common import claim
+from ..sweep import parallel_map
+from .common import claim, get_default_jobs
+
+_BRIDGE_KINDS = {"lightweight": LightweightBridge, "genconv": GenConvBridge}
 
 _SPAN = 1 << 20
 
@@ -84,16 +87,25 @@ def _run_chain(hops: int, bridge_cls, initiators: int = 2,
             "mean_latency_ps": sum(latencies) / len(latencies)}
 
 
-def run(max_hops: int = 3, transactions: int = 20) -> Dict:
+def _chain_job(payload: Tuple[int, str, int]) -> Dict:
+    """Picklable worker: the bridge class is rebuilt by kind name."""
+    hops, kind, transactions = payload
+    return _run_chain(hops, _BRIDGE_KINDS[kind], transactions=transactions)
+
+
+def run(max_hops: int = 3, transactions: int = 20,
+        jobs: Optional[int] = None) -> Dict:
     """Sweep hop count for both bridge kinds."""
+    plan = [(hops, kind, transactions) for hops in range(max_hops + 1)
+            for kind in ("lightweight", "genconv")]
+    results = parallel_map(_chain_job, plan,
+                           jobs=get_default_jobs() if jobs is None else jobs)
     series = []
-    for hops in range(max_hops + 1):
+    for index in range(max_hops + 1):
         series.append({
-            "hops": hops,
-            "lightweight": _run_chain(hops, LightweightBridge,
-                                      transactions=transactions),
-            "genconv": _run_chain(hops, GenConvBridge,
-                                  transactions=transactions),
+            "hops": index,
+            "lightweight": results[2 * index],
+            "genconv": results[2 * index + 1],
         })
     return {"series": series}
 

@@ -24,9 +24,10 @@ from ..core.kernel import Simulator
 from ..interconnect.types import AddressRange, StbusType
 from ..memory.onchip import OnChipMemory
 from ..platforms.reference import make_fabric
+from ..sweep import parallel_map
 from ..traffic.iptg import Iptg, IptgPhase
 from ..traffic.patterns import Fixed, Sequential
-from .common import claim
+from .common import claim, get_default_jobs
 
 _REGION = 1 << 16
 
@@ -87,6 +88,11 @@ def build_single_layer(protocol: str, initiators: int, targets: int,
     return sim, fabric, iptgs
 
 
+def _run_layer_job(kwargs: Dict) -> RunResult:
+    """Picklable worker wrapper so layer runs can fan out across processes."""
+    return _run_layer(**kwargs)
+
+
 def _run_layer(**kwargs) -> RunResult:
     protocol = kwargs.pop("protocol")
     sim, fabric, iptgs = build_single_layer(protocol, **kwargs)
@@ -108,7 +114,8 @@ def run_many_to_many(initiators: int = 8, targets: int = 4,
                      transactions: int = 50,
                      idle_sweep: Optional[List[int]] = None,
                      wait_states: int = 2, read_fraction: float = 0.9,
-                     max_outstanding: int = 6) -> Dict:
+                     max_outstanding: int = 6,
+                     jobs: Optional[int] = None) -> Dict:
     """Offered-load sweep (idle cycles down = load up) across protocols,
     plus the STBus target-buffering remedy at saturation.
 
@@ -122,24 +129,30 @@ def run_many_to_many(initiators: int = 8, targets: int = 4,
                   transactions=transactions, wait_states=wait_states,
                   read_fraction=read_fraction,
                   max_outstanding=max_outstanding)
+    # Every independent layer run in one flat fan-out, regrouped below.
+    plan = [dict(protocol=protocol, idle_cycles=idle, response_depth=2,
+                 request_depth=1, **common)
+            for idle in idle_sweep for protocol in ("ahb", "stbus", "axi")]
+    depths = ((1, 1), (2, 2), (4, 4), (8, 8))
+    plan.extend(dict(protocol="stbus", idle_cycles=idle_sweep[-1],
+                     response_depth=response_depth,
+                     request_depth=request_depth, **common)
+                for request_depth, response_depth in depths)
+    # The crossbar instance of the same node: per-flow physical paths
+    # remove the shared-channel contention altogether.
+    plan.append(dict(protocol="stbus-xbar", idle_cycles=idle_sweep[-1],
+                     response_depth=2, request_depth=1, **common))
+    results = parallel_map(_run_layer_job, plan,
+                           jobs=get_default_jobs() if jobs is None else jobs)
     rows = []
+    cursor = iter(results)
     for idle in idle_sweep:
         entry = {"idle_cycles": idle}
         for protocol in ("ahb", "stbus", "axi"):
-            entry[protocol] = _run_layer(protocol=protocol, idle_cycles=idle,
-                                         response_depth=2, request_depth=1,
-                                         **common)
+            entry[protocol] = next(cursor)
         rows.append(entry)
-    buffering_series = []
-    for request_depth, response_depth in ((1, 1), (2, 2), (4, 4), (8, 8)):
-        result = _run_layer(protocol="stbus", idle_cycles=idle_sweep[-1],
-                            response_depth=response_depth,
-                            request_depth=request_depth, **common)
-        buffering_series.append(((request_depth, response_depth), result))
-    # The crossbar instance of the same node: per-flow physical paths
-    # remove the shared-channel contention altogether.
-    crossbar = _run_layer(protocol="stbus-xbar", idle_cycles=idle_sweep[-1],
-                          response_depth=2, request_depth=1, **common)
+    buffering_series = [(depth_pair, next(cursor)) for depth_pair in depths]
+    crossbar = next(cursor)
     return {"rows": rows, "buffering_series": buffering_series,
             "crossbar": crossbar,
             "initiators": initiators, "targets": targets}
@@ -212,15 +225,17 @@ def check_many_to_many(results: Dict) -> List[str]:
 # ----------------------------------------------------------------------
 # §4.1.2 many-to-one
 # ----------------------------------------------------------------------
-def run_many_to_one(initiators: int = 8, transactions: int = 60) -> Dict:
+def run_many_to_one(initiators: int = 8, transactions: int = 60,
+                    jobs: Optional[int] = None) -> Dict:
     """All initiators hammer one 1-wait-state memory with burst reads."""
-    results = {}
-    for protocol in ("ahb", "stbus", "axi"):
-        results[protocol] = _run_layer(
-            protocol=protocol, initiators=initiators, targets=1,
-            transactions=transactions, idle_cycles=0, read_fraction=1.0,
-            wait_states=1, response_depth=2)
-    return {"results": results}
+    protocols = ("ahb", "stbus", "axi")
+    runs = parallel_map(
+        _run_layer_job,
+        [dict(protocol=protocol, initiators=initiators, targets=1,
+              transactions=transactions, idle_cycles=0, read_fraction=1.0,
+              wait_states=1, response_depth=2) for protocol in protocols],
+        jobs=get_default_jobs() if jobs is None else jobs)
+    return {"results": dict(zip(protocols, runs))}
 
 
 def _response_efficiency(result: RunResult) -> float:

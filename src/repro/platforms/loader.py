@@ -162,9 +162,17 @@ def config_to_dict_item(value) -> Any:
 
 
 def load_config(path: Union[str, Path]) -> PlatformConfig:
-    """Read a platform configuration from a JSON file."""
+    """Read a platform configuration from a JSON file.
+
+    Every failure mode — missing/unreadable file, malformed JSON, wrong
+    document shape — surfaces as :class:`ConfigError`, so callers (the
+    CLI in particular) can report one clean line instead of a traceback.
+    """
     try:
         document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigError(
+            f"{path}: {exc.strerror or 'cannot read config file'}") from exc
     except json.JSONDecodeError as exc:
         raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
     if not isinstance(document, dict):

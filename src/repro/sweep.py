@@ -1,0 +1,538 @@
+"""Parallel design-space sweep engine with on-disk result caching.
+
+The platform earns its keep by sweeping large design spaces — the
+platform-instance comparisons of Figs. 3-5 and the LMI knob studies of
+Fig. 6 each simulate many configurations that are completely independent
+of one another.  This module is the execution layer those loops route
+through:
+
+:func:`sweep`
+    Fan a list of :class:`~repro.platforms.config.PlatformConfig` objects
+    out across worker processes and aggregate the
+    :class:`~repro.analysis.metrics.RunResult` s deterministically (results
+    come back in input order regardless of completion order).  Workers
+    receive configurations serialised through the existing
+    ``config_to_dict``/``config_from_dict`` round trip, run with an
+    optional per-job wall-clock timeout, are retried once if a worker
+    process crashes, and the whole engine degrades gracefully to
+    in-process execution when multiprocessing is unavailable.
+
+:class:`SweepCache`
+    Completed points are cached on disk keyed by a canonical-JSON SHA-256
+    of the configuration plus ``max_ps`` (see :func:`config_key`), so
+    repeated sweeps and re-runs of ``repro run all`` skip
+    already-simulated configurations.  Because every simulation is
+    deterministic, a cache hit is bit-identical to a fresh run.
+
+:func:`parallel_map`
+    The same pool machinery for experiment workloads that are not plain
+    ``PlatformConfig`` runs (single-layer studies, monitor-instrumented
+    runs); falls back to a serial map whenever the work is not picklable.
+
+:func:`load_sweep`
+    Parse a ``repro sweep`` specification file — a base platform document
+    plus explicit ``points`` and/or a cartesian ``grid`` of dotted-path
+    overrides — into labelled configurations.
+
+Determinism and observability guarantees:
+
+* every configuration runs on a fresh :class:`~repro.core.kernel.Simulator`
+  with seeds taken from the config, so per-config ``(events, sim_time_ps)``
+  are bit-identical whether the point ran serially, in a pool, or came
+  from the cache (``tests/test_sweep.py`` pins this);
+* while an ambient observability capture (:func:`repro.obs.capture`) is
+  active the engine forces serial in-process execution and bypasses cache
+  hits — span recorders only see simulators built in this process.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .analysis.metrics import RunResult
+from .core import kernel as _kernel
+from .platforms.config import PlatformConfig
+from .platforms.loader import ConfigError, config_from_dict, config_to_dict
+
+#: Default wall-clock guard for platform runs (simulated picoseconds).
+DEFAULT_MAX_PS = 20_000_000_000_000
+
+#: Bumped whenever the cache entry schema (or simulation semantics that
+#: invalidate old entries) change; part of every cache key.
+CACHE_SCHEMA = 1
+
+
+class SweepError(RuntimeError):
+    """A sweep could not complete (worker crash loop or job timeout)."""
+
+
+# ----------------------------------------------------------------------
+# cache keys and result serialisation
+# ----------------------------------------------------------------------
+def config_key(config: PlatformConfig, max_ps: int = DEFAULT_MAX_PS) -> str:
+    """Canonical-JSON SHA-256 of a configuration plus its run bound.
+
+    The key is stable across processes and sessions: the config document
+    is serialised with sorted keys and no whitespace, and the package
+    version plus :data:`CACHE_SCHEMA` are mixed in so entries from an
+    incompatible simulator vintage never match.
+    """
+    from . import __version__
+
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "max_ps": int(max_ps),
+        "config": config_to_dict(config),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+_RESULT_FIELDS = tuple(f.name for f in dataclasses.fields(RunResult))
+
+
+def result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """Serialise a :class:`RunResult` to a JSON-compatible dict."""
+    return dataclasses.asdict(result)
+
+
+def result_from_dict(document: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult`; raises ``ConfigError`` on drift."""
+    try:
+        return RunResult(**{name: document[name] for name in _RESULT_FIELDS})
+    except (KeyError, TypeError) as exc:
+        raise ConfigError(f"malformed cached result: {exc}") from exc
+
+
+@dataclass
+class CachedRun:
+    """One simulated point as persisted by the cache."""
+
+    result: RunResult
+    events: int
+    sim_time_ps: int
+
+
+@dataclass
+class SweepOutcome:
+    """One sweep point: the result plus execution provenance."""
+
+    config: PlatformConfig
+    key: str
+    result: RunResult
+    events: int
+    sim_time_ps: int
+    cached: bool
+
+
+def default_cache_dir() -> Path:
+    """Cache root: ``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``."""
+    override = os.environ.get("REPRO_SWEEP_CACHE")
+    if override:
+        return Path(override)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "sweeps"
+
+
+class SweepCache:
+    """Disk cache of sweep results, one JSON file per config key.
+
+    Reads treat any unreadable or malformed entry as a miss and writes
+    are atomic (temp file + rename), so a cache shared between parallel
+    invocations can never serve a torn entry.  All I/O errors degrade to
+    cache-off behaviour rather than failing the sweep.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[CachedRun]:
+        try:
+            document = json.loads(self.path_for(key).read_text())
+            if document.get("schema") != CACHE_SCHEMA:
+                return None
+            return CachedRun(result=result_from_dict(document["result"]),
+                             events=int(document["events"]),
+                             sim_time_ps=int(document["sim_time_ps"]))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, run: CachedRun) -> None:
+        document = {"schema": CACHE_SCHEMA, "key": key,
+                    "result": result_to_dict(run.result),
+                    "events": run.events, "sim_time_ps": run.sim_time_ps}
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = self.path_for(key).with_suffix(".tmp")
+            tmp.write_text(json.dumps(document, sort_keys=True))
+            os.replace(tmp, self.path_for(key))
+        except OSError:
+            pass  # an unwritable cache must never fail the sweep
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*.json"))
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+def default_jobs() -> int:
+    """Worker count when none is given: ``$REPRO_JOBS`` or 1 (serial)."""
+    raw = os.environ.get("REPRO_JOBS", "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _capture_active() -> bool:
+    """Is an ambient observability capture installed in this process?"""
+    return bool(_kernel._new_sim_hooks)
+
+
+def _simulate(config: PlatformConfig, max_ps: int) -> CachedRun:
+    """Run one configuration on a fresh simulator (the worker body)."""
+    from .core import Simulator
+    from .platforms import build_platform
+
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    result = platform.run(max_ps=max_ps)
+    return CachedRun(result=result, events=sim.processed_events,
+                     sim_time_ps=sim.now)
+
+
+def _worker(payload: Tuple[Dict[str, Any], int]) -> Dict[str, Any]:
+    """Process-pool entry point: config document in, result document out."""
+    document, max_ps = payload
+    run = _simulate(config_from_dict(document), max_ps)
+    return {"result": result_to_dict(run.result), "events": run.events,
+            "sim_time_ps": run.sim_time_ps}
+
+
+def _make_executor(jobs: int):
+    """A process pool, or ``None`` when multiprocessing is unavailable."""
+    try:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(max_workers=jobs)
+    except (ImportError, NotImplementedError, OSError, ValueError):
+        return None
+
+
+def _pool_map(fn: Callable[[Any], Any], payloads: Sequence[Any], jobs: int,
+              timeout_s: Optional[float], retries: int = 1) -> Optional[List]:
+    """Ordered process-pool map with per-job timeout and crash retry.
+
+    Returns ``None`` when no pool could be created at all (the caller
+    falls back to a serial map).  A job whose worker process dies is
+    resubmitted to a fresh pool up to ``retries`` times; a job that
+    exceeds ``timeout_s`` aborts the sweep with :class:`SweepError`.
+    """
+    import concurrent.futures as cf
+    from concurrent.futures.process import BrokenProcessPool
+
+    results: List[Any] = [None] * len(payloads)
+    pending: List[Tuple[int, Any]] = list(enumerate(payloads))
+    attempt = 0
+    while pending:
+        executor = _make_executor(min(jobs, len(pending)))
+        if executor is None:
+            if attempt == 0:
+                return None
+            raise SweepError("process pool unavailable while retrying "
+                             "crashed sweep workers")
+        crashed: List[Tuple[int, Any]] = []
+        try:
+            submitted = [(index, payload, executor.submit(fn, payload))
+                         for index, payload in pending]
+            for index, payload, future in submitted:
+                try:
+                    results[index] = future.result(timeout=timeout_s)
+                except cf.TimeoutError:
+                    raise SweepError(
+                        f"sweep job {index} exceeded the {timeout_s}s "
+                        f"wall-clock timeout") from None
+                except BrokenProcessPool:
+                    crashed.append((index, payload))
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+        if crashed and attempt >= retries:
+            raise SweepError(
+                f"{len(crashed)} sweep worker(s) crashed "
+                f"{attempt + 1} time(s); giving up")
+        pending = crashed
+        attempt += 1
+    return results
+
+
+def _resolve_cache(cache) -> Optional[SweepCache]:
+    """Normalise the ``cache`` argument of :func:`sweep`."""
+    if cache is False:
+        return None
+    if cache is None or cache is True:
+        return SweepCache()
+    if isinstance(cache, SweepCache):
+        return cache
+    return SweepCache(cache)
+
+
+def sweep(configs: Iterable[PlatformConfig],
+          max_ps: int = DEFAULT_MAX_PS,
+          jobs: Optional[int] = None,
+          cache: Union[SweepCache, str, Path, bool, None] = None,
+          timeout_s: Optional[float] = None,
+          retries: int = 1) -> List[SweepOutcome]:
+    """Run every configuration, in parallel where possible, with caching.
+
+    ``jobs=None`` reads ``$REPRO_JOBS`` (default 1 = serial in-process).
+    ``cache=None`` uses the default on-disk cache; pass ``False`` to
+    disable caching or a :class:`SweepCache`/path to redirect it.
+    Outcomes are returned in input order; duplicate configurations are
+    simulated once and shared.
+    """
+    configs = list(configs)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    store = _resolve_cache(cache)
+    # Span recorders attach only to simulators built in this process, and
+    # a cache hit would skip simulation entirely — under a capture the
+    # sweep runs serially and re-simulates every point.
+    capturing = _capture_active()
+
+    keys = [config_key(config, max_ps) for config in configs]
+    outcomes: List[Optional[SweepOutcome]] = [None] * len(configs)
+    first_index: Dict[str, int] = {}
+    duplicates: List[Tuple[int, int]] = []
+    misses: List[int] = []
+    for index, key in enumerate(keys):
+        if key in first_index:
+            duplicates.append((index, first_index[key]))
+            continue
+        first_index[key] = index
+        if store is not None and not capturing:
+            hit = store.get(key)
+            if hit is not None:
+                outcomes[index] = SweepOutcome(
+                    config=configs[index], key=key, result=hit.result,
+                    events=hit.events, sim_time_ps=hit.sim_time_ps,
+                    cached=True)
+                continue
+        misses.append(index)
+
+    if misses:
+        executed: Dict[int, CachedRun] = {}
+        pool_out = None
+        if jobs > 1 and len(misses) > 1 and not capturing:
+            payloads = [(config_to_dict(configs[index]), int(max_ps))
+                        for index in misses]
+            pool_out = _pool_map(_worker, payloads, jobs, timeout_s, retries)
+        if pool_out is None:
+            for index in misses:
+                executed[index] = _simulate(configs[index], max_ps)
+        else:
+            for index, raw in zip(misses, pool_out):
+                executed[index] = CachedRun(
+                    result=result_from_dict(raw["result"]),
+                    events=int(raw["events"]),
+                    sim_time_ps=int(raw["sim_time_ps"]))
+        for index in misses:
+            run = executed[index]
+            if store is not None:
+                store.put(keys[index], run)
+            outcomes[index] = SweepOutcome(
+                config=configs[index], key=keys[index], result=run.result,
+                events=run.events, sim_time_ps=run.sim_time_ps, cached=False)
+
+    for index, source in duplicates:
+        original = outcomes[source]
+        outcomes[index] = SweepOutcome(
+            config=configs[index], key=keys[index],
+            result=dataclasses.replace(original.result),
+            events=original.events, sim_time_ps=original.sim_time_ps,
+            cached=True)
+    return outcomes  # type: ignore[return-value]
+
+
+def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],
+                 jobs: Optional[int] = None,
+                 timeout_s: Optional[float] = None) -> List[Any]:
+    """Ordered map over ``items``, fanned out when it is safe to do so.
+
+    Runs serially in-process when ``jobs <= 1``, when an observability
+    capture is active, or when ``fn``/``items`` cannot cross a process
+    boundary (pickling failure) — so callers never need a fallback path.
+    """
+    items = list(items)
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if jobs <= 1 or len(items) <= 1 or _capture_active():
+        return [fn(item) for item in items]
+    # Probe picklability *before* creating a pool: submitting an
+    # unpicklable callable poisons the executor's call queue (the worker
+    # blocks forever on a work item that never arrives), which can
+    # deadlock interpreter shutdown.  An eager check keeps the fallback
+    # decision entirely in this process.
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(items)
+    except Exception:
+        return [fn(item) for item in items]
+    mapped = _pool_map(fn, items, jobs, timeout_s)
+    if mapped is None:
+        return [fn(item) for item in items]
+    return mapped
+
+
+# ----------------------------------------------------------------------
+# sweep specification files (the `repro sweep` subcommand)
+# ----------------------------------------------------------------------
+_SPEC_KEYS = frozenset({"base", "points", "grid", "jobs", "max_us"})
+
+
+@dataclass
+class SweepSpec:
+    """A parsed sweep file: labelled configurations plus run options."""
+
+    labels: List[str]
+    configs: List[PlatformConfig]
+    jobs: Optional[int]
+    max_ps: int
+
+
+def _deep_merge(base: Dict[str, Any],
+                override: Dict[str, Any]) -> Dict[str, Any]:
+    merged = dict(base)
+    for key, value in override.items():
+        if isinstance(value, dict) and isinstance(merged.get(key), dict):
+            merged[key] = _deep_merge(merged[key], value)
+        else:
+            merged[key] = value
+    return merged
+
+
+def _set_dotted(document: Dict[str, Any], dotted: str, value: Any) -> None:
+    parts = dotted.split(".")
+    node = document
+    for part in parts[:-1]:
+        child = node.get(part)
+        if not isinstance(child, dict):
+            child = {}
+            node[part] = child
+        node = child
+    node[parts[-1]] = value
+
+
+def parse_sweep(document: Dict[str, Any]) -> SweepSpec:
+    """Expand a sweep document into labelled platform configurations.
+
+    Schema::
+
+        {
+          "jobs": 4,                    # optional worker count
+          "max_us": 20000.0,            # optional per-run bound
+          "base": { ...platform document... },
+          "points": [{"label": "a", ...overrides...}, ...],
+          "grid": {"traffic_scale": [0.5, 1.0],
+                   "memory.wait_states": [1, 4]}
+        }
+
+    ``points`` are deep-merged over ``base``; the cartesian product of
+    ``grid`` (dotted paths into the document) is then applied to every
+    point.  With neither, the sweep is the single ``base`` platform.
+    """
+    unknown = set(document) - _SPEC_KEYS
+    if unknown:
+        raise ConfigError(f"sweep: unknown keys {sorted(unknown)}; "
+                          f"allowed: {sorted(_SPEC_KEYS)}")
+    base = document.get("base", {})
+    if not isinstance(base, dict):
+        raise ConfigError("sweep.base: must be a platform object")
+    points = document.get("points", [{}])
+    if not isinstance(points, list) or not points:
+        raise ConfigError("sweep.points: must be a non-empty list")
+    grid = document.get("grid", {})
+    if not isinstance(grid, dict) or not all(
+            isinstance(values, list) and values for values in grid.values()):
+        raise ConfigError("sweep.grid: must map dotted paths to non-empty "
+                          "value lists")
+
+    labels: List[str] = []
+    configs: List[PlatformConfig] = []
+    axes = list(grid.items())
+    for number, point in enumerate(points):
+        if not isinstance(point, dict):
+            raise ConfigError(f"sweep.points[{number}]: must be an object")
+        point = dict(point)
+        point_label = str(point.pop("label", f"point{number}"))
+        merged = _deep_merge(base, point)
+        for combo in itertools.product(*(values for _, values in axes)):
+            expanded = json.loads(json.dumps(merged))  # deep copy
+            tags = []
+            for (path, _values), value in zip(axes, combo):
+                _set_dotted(expanded, path, value)
+                tags.append(f"{path}={value}")
+            label = ",".join([point_label] + tags) if tags else point_label
+            try:
+                configs.append(config_from_dict(expanded))
+            except ValueError as exc:
+                raise ConfigError(f"sweep point {label!r}: {exc}") from exc
+            labels.append(label)
+
+    jobs = document.get("jobs")
+    if jobs is not None and (not isinstance(jobs, int) or jobs < 1):
+        raise ConfigError("sweep.jobs: must be a positive integer")
+    max_us = document.get("max_us", DEFAULT_MAX_PS / 1_000_000)
+    if not isinstance(max_us, (int, float)) or max_us <= 0:
+        raise ConfigError("sweep.max_us: must be a positive number")
+    return SweepSpec(labels=labels, configs=configs, jobs=jobs,
+                     max_ps=int(max_us * 1_000_000))
+
+
+def load_sweep(path: Union[str, Path]) -> SweepSpec:
+    """Read and expand a sweep specification file."""
+    try:
+        document = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ConfigError(
+            f"{path}: {exc.strerror or 'cannot read sweep file'}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigError(f"{path}: invalid JSON ({exc})") from exc
+    if not isinstance(document, dict):
+        raise ConfigError(f"{path}: top level must be an object")
+    return parse_sweep(document)

@@ -1,8 +1,27 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
 
 from repro.core import Simulator
+
+
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_sweep_cache(tmp_path_factory):
+    """Keep sweep caching hermetic: never read or write ~/.cache here.
+
+    Tests still exercise the cache machinery (and benefit from intra-run
+    hits), but against a per-session temporary directory.
+    """
+    previous = os.environ.get("REPRO_SWEEP_CACHE")
+    os.environ["REPRO_SWEEP_CACHE"] = str(
+        tmp_path_factory.mktemp("sweep_cache"))
+    yield
+    if previous is None:
+        os.environ.pop("REPRO_SWEEP_CACHE", None)
+    else:
+        os.environ["REPRO_SWEEP_CACHE"] = previous
 
 
 @pytest.fixture

@@ -60,3 +60,39 @@ class TestPlatform:
         path.write_text("{\"protocol\": \"pci\"}")
         with pytest.raises(ValueError):
             main(["platform", str(path)])
+
+    def test_missing_config_file_exits_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nosuch.json"
+        assert main(["platform", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nosuch.json" in err
+        assert "Traceback" not in err
+
+    def test_malformed_json_exits_cleanly(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["platform", str(path)]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestTraceCleanup:
+    """A failing runner must not leak the process-wide capture hook."""
+
+    def test_failing_run_uninstalls_capture_and_writes_trace(
+            self, tmp_path, monkeypatch):
+        from repro import cli
+        from repro.core import kernel
+
+        def boom_runner(scale, jobs=None):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            cli, "registry", lambda: {"boom": ("always fails", boom_runner)})
+        trace = tmp_path / "trace.json"
+        assert kernel._new_sim_hooks == []
+        with pytest.raises(RuntimeError, match="boom"):
+            cli.main(["run", "boom", "--trace", str(trace)])
+        # the ambient hook is gone and the (empty) trace was still written
+        assert kernel._new_sim_hooks == []
+        assert json.loads(trace.read_text()) is not None

@@ -1,0 +1,100 @@
+"""Tests for the ``repro sweep`` subcommand and ``run --jobs``."""
+
+import json
+
+from repro.cli import main
+
+SPEC = {
+    "jobs": 1,
+    "base": {
+        "protocol": "stbus",
+        "topology": "collapsed",
+        "traffic_scale": 0.05,
+        "cpu": {"enabled": False},
+    },
+    "grid": {"memory.wait_states": [1, 4]},
+}
+
+
+def _write_spec(tmp_path, document=None):
+    path = tmp_path / "sweep.json"
+    path.write_text(json.dumps(SPEC if document is None else document))
+    return path
+
+
+def _table_rows(text):
+    """Data rows of the sweep table, minus the trailing hit/run column."""
+    return [line.rsplit(None, 1)[0] for line in text.splitlines()
+            if "memory.wait_states" in line]
+
+
+class TestSweepCommand:
+    def test_cold_run_then_warm_cache_hit(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path)
+        cache = tmp_path / "cache"
+        assert main(["sweep", str(spec), "--cache-dir", str(cache)]) == 0
+        cold = capsys.readouterr().out
+        assert "0 served from cache" in cold
+        assert "run" in cold
+
+        assert main(["sweep", str(spec), "--cache-dir", str(cache)]) == 0
+        warm = capsys.readouterr().out
+        assert "2 served from cache" in warm
+        assert "hit" in warm
+        # A cache hit must be numerically identical to the fresh run.
+        assert _table_rows(warm) == _table_rows(cold)
+
+    def test_no_cache_always_resimulates(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path)
+        cache = tmp_path / "cache"
+        for _ in range(2):
+            assert main(["sweep", str(spec), "--no-cache",
+                         "--cache-dir", str(cache)]) == 0
+            assert "0 served from cache" in capsys.readouterr().out
+
+    def test_csv_output(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path)
+        csv_path = tmp_path / "out.csv"
+        assert main(["sweep", str(spec), "--cache-dir",
+                     str(tmp_path / "cache"), "--csv", str(csv_path)]) == 0
+        lines = csv_path.read_text().splitlines()
+        assert "execution_time_ps" in lines[0]
+        assert len(lines) == 3  # header + one row per grid point
+        assert "memory.wait_states=1" in lines[1]
+
+    def test_missing_spec_file(self, tmp_path, capsys):
+        missing = tmp_path / "nosuch.json"
+        assert main(["sweep", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "nosuch.json" in err
+
+    def test_malformed_spec(self, tmp_path, capsys):
+        spec = _write_spec(tmp_path, {"base": {}, "warp": 9})
+        assert main(["sweep", str(spec)]) == 2
+        assert "unknown keys" in capsys.readouterr().err
+
+
+class TestRunJobs:
+    def test_run_with_jobs_matches_serial(self, tmp_path, capsys, monkeypatch):
+        # Separate cold caches so both invocations actually simulate.
+        # (Some shape claims only hold at full scale, so compare the two
+        # runs against each other rather than requiring success.)
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "serial"))
+        serial_status = main(["run", "fig3", "--scale", "0.2"])
+        serial = capsys.readouterr().out
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "pooled"))
+        pooled_status = main(["run", "fig3", "--scale", "0.2", "--jobs", "2"])
+        pooled = capsys.readouterr().out
+        assert pooled_status == serial_status
+        assert pooled == serial
+        assert "fig3" in serial
+
+    def test_trace_with_jobs_warns_and_stays_serial(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        assert main(["run", "s412", "--scale", "0.3", "--jobs", "2",
+                     "--trace", str(trace)]) == 0
+        captured = capsys.readouterr()
+        assert "running serially" in captured.err
+        assert trace.exists()
+        assert json.loads(trace.read_text())["traceEvents"]

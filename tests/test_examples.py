@@ -38,3 +38,14 @@ def test_config_file_example_is_loadable():
     config = load_config(EXAMPLES / "configs" / "custom_platform.json")
     assert config.memory.kind == "lmi"
     assert len(config.clusters) == 2
+
+
+def test_sweep_file_example_expands():
+    from repro.sweep import load_sweep
+
+    spec = load_sweep(EXAMPLES / "configs" / "quick_sweep.json")
+    assert spec.jobs == 2
+    assert len(spec.configs) == 4  # 2 points x 2 wait-state grid values
+    assert spec.labels[0].startswith("onchip")
+    kinds = {config.memory.kind for config in spec.configs}
+    assert kinds == {"onchip", "lmi"}

@@ -14,8 +14,14 @@ from repro.experiments import (
     fig6_lmi_statistics,
     single_layer,
 )
-from repro.experiments.common import normalized, run_config
+from repro.analysis.metrics import RunResult
+from repro.experiments.common import normalized, run_config, run_configs
 from repro.platforms import quick_config
+
+
+def _result(label, execution_time_ps):
+    return RunResult(label=label, execution_time_ps=execution_time_ps,
+                     transactions=1, bytes_transferred=64)
 
 
 class TestCommon:
@@ -23,11 +29,29 @@ class TestCommon:
         result = run_config(quick_config())
         assert result.execution_time_ps > 0
 
+    def test_run_configs_matches_run_config(self, tmp_path):
+        config = quick_config(traffic_scale=0.1)
+        direct = run_config(config)
+        batched = run_configs([config], cache=tmp_path / "cache")
+        assert batched == [direct]
+
     def test_normalized_uses_first_key_by_default(self):
         a = run_config(quick_config())
         results = {"a": a, "b": a}
         norm = normalized(results)
         assert norm["a"] == 1.0
+
+    def test_normalized_zero_baseline_does_not_divide_by_zero(self):
+        # Regression: a degenerate zero-time baseline raised
+        # ZeroDivisionError instead of reporting the ratio as infinite.
+        norm = normalized({"base": _result("base", 0),
+                           "other": _result("other", 500)})
+        assert norm["base"] == 1.0
+        assert norm["other"] == float("inf")
+
+    def test_normalized_all_zero_is_all_equal(self):
+        norm = normalized({"a": _result("a", 0), "b": _result("b", 0)})
+        assert norm == {"a": 1.0, "b": 1.0}
 
 
 class TestSingleLayerSmoke:

@@ -108,8 +108,43 @@ class TestRoundTrip:
         assert document["protocol"] == "stbus"
         assert isinstance(document["clusters"], list)
 
+    def test_experiment_instances_round_trip(self):
+        """Every sweep-worker config (nested StbusType enums included)
+        must survive the dict round trip the pool ships it through."""
+        from repro.experiments.fig3_platform_instances import fig3_instances
+        from repro.experiments.fig5_lmi_platforms import fig5_instances
+
+        instances = {}
+        instances.update(fig3_instances(traffic_scale=0.5))
+        instances.update(fig5_instances(traffic_scale=0.5))
+        for name, config in instances.items():
+            rebuilt = config_from_dict(config_to_dict(config))
+            assert rebuilt == config, name
+            assert all(c.stbus_type is StbusType(c.stbus_type)
+                       for c in rebuilt.clusters)
+
+    def test_sdram_preset_objects_round_trip(self):
+        from repro.memory.timing import TIMING_PRESETS
+        from repro.platforms.config import MemoryConfig
+
+        for name, timing in TIMING_PRESETS.items():
+            config = PlatformConfig(
+                memory=MemoryConfig(kind="lmi", sdram=timing))
+            rebuilt = config_from_dict(config_to_dict(config))
+            assert rebuilt == config, name
+            assert rebuilt.memory.sdram == timing
+
 
 class TestLoadErrors:
+    def test_missing_file_is_config_error(self, tmp_path):
+        # Regression: a missing path used to escape as FileNotFoundError.
+        with pytest.raises(ConfigError, match="nosuch.json"):
+            load_config(tmp_path / "nosuch.json")
+
+    def test_directory_path_is_config_error(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_config(tmp_path)
+
     def test_invalid_json(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{not json")

@@ -1,0 +1,359 @@
+"""Tests for the parallel sweep engine (``repro.sweep``).
+
+Covers cache keying, disk-cache hit/miss behaviour, duplicate dedup, the
+serial/pooled determinism guarantee, worker-crash retry, per-job timeouts,
+graceful degradation without multiprocessing, ``parallel_map`` fallbacks,
+the observability-capture interaction and sweep-spec parsing.
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.sweep as sweep_mod
+from repro.analysis.metrics import RunResult
+from repro.platforms import quick_config
+from repro.platforms.loader import ConfigError
+from repro.sweep import (
+    CACHE_SCHEMA,
+    CachedRun,
+    SweepCache,
+    SweepError,
+    _pool_map,
+    _simulate,
+    config_key,
+    default_jobs,
+    load_sweep,
+    parallel_map,
+    parse_sweep,
+    result_from_dict,
+    result_to_dict,
+    sweep,
+)
+
+QUICK_MAX_PS = 10**13
+
+
+# Worker functions must be module-level so they pickle across the pool.
+def _square(value):
+    return value * value
+
+
+def _pid_probe(_value):
+    return os.getpid()
+
+
+def _crash_always(_value):
+    os._exit(3)
+
+
+def _crash_once(sentinel_path):
+    if not os.path.exists(sentinel_path):
+        with open(sentinel_path, "w") as handle:
+            handle.write("crashed")
+        os._exit(3)
+    return "recovered"
+
+
+def _sleep_job(seconds):
+    import time
+
+    time.sleep(seconds)
+    return "done"
+
+
+@pytest.fixture(scope="module")
+def quick_run():
+    """One simulated quick-config point, shared across this module."""
+    config = quick_config(traffic_scale=0.05)
+    return config, _simulate(config, QUICK_MAX_PS)
+
+
+class TestConfigKey:
+    def test_stable_across_equal_configs(self):
+        a = config_key(quick_config(traffic_scale=0.1), QUICK_MAX_PS)
+        b = config_key(quick_config(traffic_scale=0.1), QUICK_MAX_PS)
+        assert a == b
+        assert len(a) == 64
+        int(a, 16)  # hex digest
+
+    def test_differs_by_config(self):
+        a = config_key(quick_config(traffic_scale=0.1), QUICK_MAX_PS)
+        b = config_key(quick_config(traffic_scale=0.2), QUICK_MAX_PS)
+        assert a != b
+
+    def test_differs_by_max_ps(self):
+        config = quick_config(traffic_scale=0.1)
+        assert config_key(config, 10**12) != config_key(config, 10**13)
+
+
+class TestResultSerialisation:
+    def test_round_trip(self, quick_run):
+        _config, run = quick_run
+        rebuilt = result_from_dict(result_to_dict(run.result))
+        assert rebuilt == run.result
+
+    def test_missing_field_is_config_error(self):
+        with pytest.raises(ConfigError, match="malformed cached result"):
+            result_from_dict({"label": "x"})
+
+
+class TestSweepCache:
+    def test_miss_on_empty(self, tmp_path):
+        assert SweepCache(tmp_path / "cache").get("0" * 64) is None
+
+    def test_put_get_round_trip(self, tmp_path, quick_run):
+        config, run = quick_run
+        cache = SweepCache(tmp_path / "cache")
+        key = config_key(config, QUICK_MAX_PS)
+        cache.put(key, run)
+        hit = cache.get(key)
+        assert hit is not None
+        assert hit.result == run.result
+        assert (hit.events, hit.sim_time_ps) == (run.events, run.sim_time_ps)
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, quick_run):
+        config, run = quick_run
+        cache = SweepCache(tmp_path / "cache")
+        key = config_key(config, QUICK_MAX_PS)
+        cache.put(key, run)
+        cache.path_for(key).write_text("{torn write")
+        assert cache.get(key) is None
+
+    def test_wrong_schema_is_a_miss(self, tmp_path, quick_run):
+        config, run = quick_run
+        cache = SweepCache(tmp_path / "cache")
+        key = config_key(config, QUICK_MAX_PS)
+        cache.put(key, run)
+        document = json.loads(cache.path_for(key).read_text())
+        document["schema"] = CACHE_SCHEMA + 1
+        cache.path_for(key).write_text(json.dumps(document))
+        assert cache.get(key) is None
+
+    def test_len_and_clear(self, tmp_path, quick_run):
+        _config, run = quick_run
+        cache = SweepCache(tmp_path / "cache")
+        cache.put("a" * 64, run)
+        cache.put("b" * 64, run)
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+
+class TestSweepEngine:
+    def test_cold_then_warm(self, tmp_path):
+        configs = [quick_config(traffic_scale=0.05),
+                   quick_config(traffic_scale=0.07)]
+        cache = SweepCache(tmp_path / "cache")
+        cold = sweep(configs, max_ps=QUICK_MAX_PS, jobs=1, cache=cache)
+        assert [outcome.cached for outcome in cold] == [False, False]
+        warm = sweep(configs, max_ps=QUICK_MAX_PS, jobs=1, cache=cache)
+        assert [outcome.cached for outcome in warm] == [True, True]
+        for before, after in zip(cold, warm):
+            assert after.result == before.result
+            assert (after.events, after.sim_time_ps) == \
+                (before.events, before.sim_time_ps)
+
+    def test_duplicate_configs_simulated_once(self, tmp_path):
+        config = quick_config(traffic_scale=0.05)
+        outcomes = sweep([config, config], max_ps=QUICK_MAX_PS, jobs=1,
+                         cache=SweepCache(tmp_path / "cache"))
+        assert outcomes[0].cached is False
+        assert outcomes[1].cached is True
+        assert outcomes[1].result == outcomes[0].result
+        assert outcomes[1].key == outcomes[0].key
+
+    def test_cache_disabled_always_simulates(self, tmp_path):
+        config = quick_config(traffic_scale=0.05)
+        first = sweep([config], max_ps=QUICK_MAX_PS, jobs=1, cache=False)
+        second = sweep([config], max_ps=QUICK_MAX_PS, jobs=1, cache=False)
+        assert first[0].cached is False
+        assert second[0].cached is False
+        assert second[0].result == first[0].result
+
+    def test_degrades_to_serial_without_multiprocessing(self, monkeypatch):
+        monkeypatch.setattr(sweep_mod, "_make_executor", lambda jobs: None)
+        configs = [quick_config(traffic_scale=0.05),
+                   quick_config(traffic_scale=0.07)]
+        outcomes = sweep(configs, max_ps=QUICK_MAX_PS, jobs=4, cache=False)
+        assert len(outcomes) == 2
+        assert all(outcome.result.transactions > 0 for outcome in outcomes)
+
+    @pytest.mark.bench_smoke
+    def test_two_job_sweep_matches_serial_bit_for_bit(self):
+        configs = [quick_config(traffic_scale=0.05 + 0.03 * i)
+                   for i in range(3)]
+        serial = sweep(configs, max_ps=QUICK_MAX_PS, jobs=1, cache=False)
+        pooled = sweep(configs, max_ps=QUICK_MAX_PS, jobs=2, cache=False)
+        for expected, actual in zip(serial, pooled):
+            assert (actual.events, actual.sim_time_ps) == \
+                (expected.events, expected.sim_time_ps)
+            assert actual.result == expected.result
+
+
+class TestPoolResilience:
+    def test_crashed_worker_is_retried(self, tmp_path):
+        sentinel = tmp_path / "crashed_once"
+        assert _pool_map(_crash_once, [str(sentinel)], jobs=2,
+                         timeout_s=60) == ["recovered"]
+        assert sentinel.exists()
+
+    def test_crash_loop_raises_sweep_error(self):
+        with pytest.raises(SweepError, match="crashed"):
+            _pool_map(_crash_always, ["x"], jobs=2, timeout_s=60, retries=1)
+
+    def test_job_timeout_raises_sweep_error(self):
+        with pytest.raises(SweepError, match="timeout"):
+            _pool_map(_sleep_job, [2.0], jobs=2, timeout_s=0.2)
+
+
+class TestParallelMap:
+    def test_serial_when_jobs_is_one(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=1) == [9, 1, 4]
+
+    def test_pooled_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_pooled_runs_in_worker_processes(self):
+        pids = parallel_map(_pid_probe, [0, 1], jobs=2)
+        assert all(pid != os.getpid() for pid in pids)
+
+    def test_unpicklable_fn_falls_back_to_serial(self):
+        assert parallel_map(lambda x: x + 1, [1, 2, 3], jobs=2) == [2, 3, 4]
+
+    def test_capture_forces_serial(self):
+        from repro.obs import capture
+
+        with capture():
+            pids = parallel_map(_pid_probe, [0, 1], jobs=2)
+        assert pids == [os.getpid(), os.getpid()]
+
+
+class TestCaptureInteraction:
+    def test_capture_bypasses_cache_and_observes(self, tmp_path):
+        from repro.obs import capture
+
+        config = quick_config(traffic_scale=0.05)
+        cache = SweepCache(tmp_path / "cache")
+        sweep([config], max_ps=QUICK_MAX_PS, jobs=1, cache=cache)
+        # Warm cache — but under a capture the point must re-simulate
+        # in-process so spans attach to a real simulator.
+        with capture() as cap:
+            outcomes = sweep([config], max_ps=QUICK_MAX_PS, jobs=2,
+                             cache=cache)
+        assert outcomes[0].cached is False
+        assert len(cap.recorders) == 1
+        assert cap.completed()
+
+
+class TestDefaultJobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "6")
+        assert default_jobs() == 6
+
+    def test_garbage_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert default_jobs() == 1
+
+
+BASE_DOC = {
+    "protocol": "stbus",
+    "topology": "collapsed",
+    "traffic_scale": 0.1,
+    "cpu": {"enabled": False},
+}
+
+
+class TestSweepSpec:
+    def test_single_base_point(self):
+        spec = parse_sweep({"base": dict(BASE_DOC)})
+        assert spec.labels == ["point0"]
+        assert len(spec.configs) == 1
+        assert spec.configs[0].protocol == "stbus"
+        assert spec.jobs is None
+
+    def test_points_deep_merge_over_base(self):
+        spec = parse_sweep({
+            "base": dict(BASE_DOC),
+            "points": [{"label": "fast", "traffic_scale": 0.2},
+                       {"memory": {"wait_states": 7}}],
+        })
+        assert spec.labels == ["fast", "point1"]
+        assert spec.configs[0].traffic_scale == 0.2
+        assert spec.configs[1].memory.wait_states == 7
+        # the merge keeps untouched base fields
+        assert all(c.topology == "collapsed" for c in spec.configs)
+
+    def test_grid_cartesian_product(self):
+        spec = parse_sweep({
+            "base": dict(BASE_DOC),
+            "grid": {"protocol": ["stbus", "ahb"],
+                     "memory.wait_states": [1, 4]},
+        })
+        assert len(spec.configs) == 4
+        assert spec.labels[0] == "point0,protocol=stbus,memory.wait_states=1"
+        combos = {(c.protocol, c.memory.wait_states) for c in spec.configs}
+        assert combos == {("stbus", 1), ("stbus", 4),
+                          ("ahb", 1), ("ahb", 4)}
+
+    def test_jobs_and_max_us(self):
+        spec = parse_sweep({"base": dict(BASE_DOC), "jobs": 3,
+                            "max_us": 50.0})
+        assert spec.jobs == 3
+        assert spec.max_ps == 50_000_000
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            parse_sweep({"base": dict(BASE_DOC), "warp": 9})
+
+    def test_bad_points_rejected(self):
+        with pytest.raises(ConfigError, match="points"):
+            parse_sweep({"base": dict(BASE_DOC), "points": []})
+        with pytest.raises(ConfigError, match="points"):
+            parse_sweep({"base": dict(BASE_DOC), "points": ["x"]})
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ConfigError, match="grid"):
+            parse_sweep({"base": dict(BASE_DOC),
+                         "grid": {"traffic_scale": []}})
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ConfigError, match="jobs"):
+            parse_sweep({"base": dict(BASE_DOC), "jobs": 0})
+
+    def test_bad_max_us_rejected(self):
+        with pytest.raises(ConfigError, match="max_us"):
+            parse_sweep({"base": dict(BASE_DOC), "max_us": -1})
+
+    def test_invalid_point_names_the_label(self):
+        with pytest.raises(ConfigError, match="point0"):
+            parse_sweep({"base": dict(BASE_DOC),
+                         "grid": {"protocol": ["pci"]}})
+
+
+class TestLoadSweep:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="nosuch"):
+            load_sweep(tmp_path / "nosuch.json")
+
+    def test_invalid_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigError, match="invalid JSON"):
+            load_sweep(path)
+
+    def test_non_object_top_level(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1]")
+        with pytest.raises(ConfigError, match="top level"):
+            load_sweep(path)
+
+    def test_round_trips_a_written_spec(self, tmp_path):
+        path = tmp_path / "sweep.json"
+        path.write_text(json.dumps({
+            "base": dict(BASE_DOC),
+            "grid": {"memory.wait_states": [1, 4]},
+        }))
+        spec = load_sweep(path)
+        assert len(spec.configs) == 2

@@ -61,6 +61,9 @@ class BridgeBase(Component):
         self.init_port: InitiatorPort = dest.connect_initiator(
             f"{name}.out", max_outstanding=child_outstanding)
         self.forwarded = sim.metrics.counter(f"{name}.forwarded")
+        checks = getattr(sim, "_checks", None)
+        if checks is not None:
+            checks.register_bridge(self)
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,67 @@
+"""Violation report types for the runtime invariant checkers.
+
+A :class:`Violation` is one broken protocol/timing rule, located in space
+(dotted component path), time (kernel picoseconds) and law (rule id).  The
+monitors in :mod:`repro.check.monitors` produce them; the CLI renders them;
+``--strict`` turns any of them into a non-zero exit.
+
+This module deliberately imports nothing from the rest of ``repro`` so cold
+error paths deep in the core (e.g. the FIFO bounds guard) can reach the
+report type without creating an import cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, pinned to a component, a time and a rule."""
+
+    #: Dotted path of the offending component ("central.lmi.req", ...).
+    component: str
+    #: Simulation time at which the violation was detected, in ps.
+    time_ps: int
+    #: Stable rule identifier ("fifo.overflow", "sdram.t_ras", ...).
+    rule: str
+    #: Human-readable explanation with the offending values.
+    message: str
+    #: The offending transaction (or command tuple), when one exists.
+    txn: Optional[Any] = field(default=None, compare=False)
+
+    def format(self) -> str:
+        parts = [f"[{self.rule}]", f"t={self.time_ps}ps", self.component,
+                 self.message]
+        if self.txn is not None:
+            parts.append(f"({self.txn!r})")
+        return " ".join(parts)
+
+
+class InvariantViolation(RuntimeError):
+    """Raised when a live check trips and the simulation cannot continue
+    sanely (e.g. a FIFO pushed past capacity).  Carries the structured
+    :class:`Violation` so callers get the component path and sim time even
+    from an exception path."""
+
+    def __init__(self, violation: Violation) -> None:
+        super().__init__(violation.format())
+        self.violation = violation
+
+
+def format_report(violations: List[Violation], limit: Optional[int] = None) -> str:
+    """Plain-text violation report: one line per violation plus a summary."""
+    if not violations:
+        return "no invariant violations"
+    shown = violations if limit is None else violations[:limit]
+    lines = [v.format() for v in shown]
+    if len(shown) < len(violations):
+        lines.append(f"... {len(violations) - len(shown)} more")
+    rules = sorted({v.rule for v in violations})
+    lines.append(f"{len(violations)} violation(s) across "
+                 f"{len(rules)} rule(s): {', '.join(rules)}")
+    return "\n".join(lines)
+
+
+__all__ = ["Violation", "InvariantViolation", "format_report"]

@@ -11,6 +11,8 @@
     python -m repro trace fig5                   # lifecycle trace + hop table
     python -m repro stats fig6 --json out.json   # flat metric dump
     python -m repro bench                        # kernel perf -> BENCH_kernel.json
+    python -m repro check fig5 --strict          # run under invariant monitors
+    python -m repro check my_platform.json --diff # + fast-vs-reference diff
 
 Each experiment prints the paper-style report and the outcome of its shape
 checks; the process exits non-zero if any claim fails, so the CLI is
@@ -305,6 +307,89 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_check(args) -> int:
+    """Run a target under the full invariant-monitor suite.
+
+    The target is an experiment name (``repro check fig5``), a platform
+    config JSON or a sweep spec JSON (every point is checked serially).
+    ``--diff`` additionally runs config targets through the differential
+    harness, comparing the fast-path and reference kernels bit for bit.
+    """
+    from .check import CheckedRun, checked, format_report
+
+    table = registry()
+    violations = []
+    mismatches: List[str] = []
+    if args.target in table:
+        if args.diff:
+            print("note: --diff applies to config targets; running the "
+                  "experiment under monitors only", file=sys.stderr)
+        description, runner = table[args.target]
+        print(f"### check {args.target}: {description}\n")
+        # Serial on purpose: monitors attach to in-process simulators, and
+        # the sweep engine already refuses to fan out or serve cache hits
+        # while a construction hook is installed.
+        with checked() as session:
+            runner(args.scale, 1)
+        violations = session.finalize()
+        print(f"checked {len(session.checkers)} simulator(s)")
+    else:
+        import json
+
+        from .core import Simulator
+        from .platforms import build_platform
+        from .platforms.loader import ConfigError, load_config
+
+        try:
+            with open(args.target, encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"error: {args.target!r} is neither an experiment "
+                  f"(try 'list') nor a readable JSON file: {exc}",
+                  file=sys.stderr)
+            return 2
+        max_ps = int(args.max_us * 1_000_000)
+        if isinstance(document, dict) and \
+                ("points" in document or "grid" in document):
+            from .sweep import load_sweep
+
+            spec = load_sweep(args.target)
+            targets = list(zip(spec.labels, spec.configs))
+            max_ps = spec.max_ps
+        else:
+            try:
+                config = load_config(args.target)
+            except ConfigError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            targets = [(config.label(), config)]
+        for label, config in targets:
+            if args.diff:
+                outcome = CheckedRun(config, max_ps=max_ps)
+                violations.extend(outcome.violations)
+                mismatches.extend(f"{label}: {m}"
+                                  for m in outcome.mismatches)
+                print(f"checked {label}: {outcome.fast_events} events, "
+                      f"fast vs reference "
+                      f"{'identical' if not outcome.mismatches else 'DIVERGED'}")
+            else:
+                with checked() as session:
+                    sim = Simulator()
+                    platform = build_platform(sim, config)
+                    platform.run(max_ps=max_ps)
+                violations.extend(session.finalize())
+                print(f"checked {label}: {sim.processed_events} events")
+    print()
+    if mismatches:
+        print("fast path diverged from the reference kernel:")
+        for mismatch in mismatches:
+            print(f"  {mismatch}")
+    print(format_report(violations, limit=args.limit))
+    if args.strict and (violations or mismatches):
+        return 1
+    return 0
+
+
 def cmd_bench(args) -> int:
     from . import bench
 
@@ -400,6 +485,29 @@ def build_parser() -> argparse.ArgumentParser:
                               help="restrict terminal output to one "
                                    "metric subtree")
     stats_parser.set_defaults(func=cmd_stats)
+
+    check_parser = sub.add_parser(
+        "check", help="run a target under the protocol/timing invariant "
+                      "monitors and report violations")
+    check_parser.add_argument("target",
+                              help="experiment name, platform config JSON "
+                                   "or sweep spec JSON")
+    check_parser.add_argument("--strict", action="store_true",
+                              help="exit non-zero on any violation or "
+                                   "fast-vs-reference divergence")
+    check_parser.add_argument("--diff", action="store_true",
+                              help="also run config targets on both kernel "
+                                   "paths and compare bit for bit")
+    check_parser.add_argument("--scale", type=float, default=1.0,
+                              help="traffic scale for experiment targets "
+                                   "(default 1.0)")
+    check_parser.add_argument("--max-us", type=float, default=20_000.0,
+                              help="simulation bound for config targets, "
+                                   "in microseconds")
+    check_parser.add_argument("--limit", type=int, default=50, metavar="N",
+                              help="violations to print before truncating "
+                                   "(default 50)")
+    check_parser.set_defaults(func=cmd_check)
 
     bench_parser = sub.add_parser(
         "bench", help="run the kernel performance scenarios and write "

@@ -65,6 +65,11 @@ class Fifo(Generic[T]):
         #: Highest occupancy ever reached (even transiently within one
         #: timestamp, which the time-weighted histogram cannot see).
         self.high_water = 0
+        #: Invariant checker, captured once at construction (select-once
+        #: discipline; ``None`` outside a ``repro.check.checked()`` session).
+        self._checks = getattr(sim, "_checks", None)
+        if self._checks is not None:
+            self._checks.register_fifo(self)
 
     # ------------------------------------------------------------------
     # inspection
@@ -191,6 +196,8 @@ class Fifo(Generic[T]):
     def _store(self, item: T) -> None:
         items = self._items
         before = len(items)
+        if before >= self.capacity:
+            self._bounds_violation("overflow", before)
         items.append(item)
         if before >= self.high_water:
             self.high_water = before + 1
@@ -212,6 +219,8 @@ class Fifo(Generic[T]):
     def _take(self) -> T:
         items = self._items
         before = len(items)
+        if not items:
+            self._bounds_violation("underflow", 0)
         item = items.popleft()
         now = self.sim._now
         span = now - self._last_change_ps
@@ -225,6 +234,21 @@ class Fifo(Generic[T]):
         if self._put_waiters:
             self._admit_waiting_puts()
         return item
+
+    def _bounds_violation(self, kind: str, level: int) -> None:
+        """Cold path: an occupancy bound was broken.  The public API makes
+        this unreachable (``put``/``get`` block first), so a hit means a
+        caller bypassed the blocking discipline — report it with the
+        component path and simulation time instead of a bare assertion."""
+        from ..check.violations import InvariantViolation, Violation
+
+        violation = Violation(
+            component=self.name, time_ps=self.sim._now, rule=f"fifo.{kind}",
+            message=f"{kind} at level {level} (capacity {self.capacity})")
+        checks = self._checks
+        if checks is not None:
+            checks.violations.append(violation)
+        raise InvariantViolation(violation)
 
     def _serve_waiting_gets(self) -> None:
         sim = self.sim

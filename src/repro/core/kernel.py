@@ -112,6 +112,11 @@ class Simulator:
         self._spans = None
         #: Lazily created hierarchical metric registry (see :attr:`metrics`).
         self._metrics = None
+        #: Invariant checker (``repro.check.monitors.SimChecker``) or
+        #: ``None``.  Same discipline as :attr:`_spans`: read once at
+        #: component construction, guarded per transaction hop, never
+        #: consulted inside the event loops.
+        self._checks = None
         if _new_sim_hooks:
             for hook in tuple(_new_sim_hooks):
                 hook(self)

@@ -98,6 +98,8 @@ class AhbLayer(Fabric):
         target.notify_request_state("idle")
         target.accepted.add()
         txn.mark_accepted(self.sim.now)
+        if self._checks is not None:
+            self._checks.note_accept(self, txn)
         # No split support: hold the layer until every response beat (read
         # data or write acknowledgement) has been received.
         while True:

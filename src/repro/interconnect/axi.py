@@ -116,6 +116,8 @@ class AxiFabric(Fabric):
             target.notify_request_state("idle")
             target.accepted.add()
             txn.mark_accepted(self.sim.now)
+            if self._checks is not None:
+                self._checks.note_accept(self, txn)
 
     # ------------------------------------------------------------------
     # response side (R / B)

@@ -61,6 +61,8 @@ class InitiatorPort:
         self.issued = metrics.counter(f"{prefix}.issued")
         self.completed = metrics.counter(f"{prefix}.completed")
         self.latency = metrics.histogram(f"{prefix}.latency")
+        #: Invariant checker, captured once (select-once discipline).
+        self._checks = fabric._checks
 
     # ------------------------------------------------------------------
     def issue(self, txn: Transaction) -> Event:
@@ -75,6 +77,8 @@ class InitiatorPort:
         """
         txn.bind(self.sim)
         txn.t_issued = self.sim.now
+        if self._checks is not None:
+            self._checks.note_issue(self, txn)
         accepted = Event(self.sim, name=f"{self.name}.issue")
         self.sim.process(self._issue_flow(txn, accepted),
                          name=f"{self.name}.issue{txn.tid}")
@@ -185,6 +189,11 @@ class Fabric(Component):
         self.targets: List[TargetPort] = []
         self._request_work = WorkSignal(sim, name=f"{name}.req_work")
         self._response_work = WorkSignal(sim, name=f"{name}.resp_work")
+        #: Invariant checker (``None`` outside a checked session); captured
+        #: once so the per-hop guards below stay a single attribute test.
+        self._checks = sim._checks
+        if self._checks is not None:
+            self._checks.register_fabric(self)
         #: Channel occupancy accounting, keyed by channel name.
         self.channels: Dict[str, ChannelUtilization] = {}
         self.decode_errors = sim.metrics.counter(f"{name}.decode_errors")
@@ -302,6 +311,8 @@ class Fabric(Component):
             raise FabricError(
                 f"{self.name}: arbitration raced ({head!r} vs {txn!r})")
         txn.t_granted = self.sim.now
+        if self._checks is not None:
+            self._checks.note_grant(self, port, txn)
         if not port.pending.is_empty:
             # A new head surfaced; a channel process that went to sleep
             # because no head matched its direction must re-examine it
@@ -315,6 +326,8 @@ class Fabric(Component):
         another layer) register a callable under ``txn.meta['beat_sink']``.
         """
         txn = beat.txn
+        if self._checks is not None:
+            self._checks.note_beat(self, beat)
         if txn.t_first_data is None and not beat.is_write_ack:
             txn.t_first_data = self.sim.now
         if beat.error:

@@ -166,6 +166,8 @@ class StbusNode(Fabric):
         target.notify_request_state("idle")
         target.accepted.add()
         txn.mark_accepted(self.sim.now)
+        if self._checks is not None:
+            self._checks.note_accept(self, txn)
         if txn.is_write and txn.posted and self.posted_writes:
             txn.complete(self.sim.now)
         if not self.supports_split:

@@ -89,6 +89,10 @@ class LmiController(Component):
         self.config = config or LmiConfig()
         self.device = SdramDevice(sim, f"{name}.sdram", clock, timing,
                                   geometry or SdramGeometry())
+        if self.device.cmd_log is not None:
+            # The auditor only enforces the autorefresh interval when the
+            # controller's refresh engine is actually enabled.
+            self.device.cmd_log.refresh_expected = self.config.refresh_enabled
         # -- statistics (registry-backed, addressable as "<name>.*") ------
         metrics = sim.metrics
         self.served = metrics.counter(f"{name}.served")

@@ -65,6 +65,12 @@ class SdramDevice:
         self.refreshes = metrics.counter(f"{name}.refreshes")
         self.row_hits = metrics.counter(f"{name}.row_hits")
         self.row_misses = metrics.counter(f"{name}.row_misses")
+        #: Command log for the independent timing auditor, or ``None``.
+        #: The auditor replays this stream against the timing parameters
+        #: from scratch — the constructive enforcement above cannot witness
+        #: its own bugs (see ``repro.check.sdram_audit``).
+        checks = getattr(sim, "_checks", None)
+        self.cmd_log = checks.sdram_log(self) if checks is not None else None
 
     # ------------------------------------------------------------------
     def _cycles(self, n: int) -> int:
@@ -83,6 +89,8 @@ class SdramDevice:
         """Issue PRECHARGE; returns the issue time."""
         bank = self.banks[bank_index]
         when = self._command_slot(max(not_before_ps, bank.ready_precharge_ps))
+        if self.cmd_log is not None:
+            self.cmd_log.record(when, "PRE", bank_index)
         bank.open_row = None
         bank.ready_activate_ps = max(bank.ready_activate_ps,
                                      when + self._cycles(self.timing.t_rp))
@@ -103,6 +111,8 @@ class SdramDevice:
             self._last_activate_any_ps + self._cycles(self.timing.t_rrd),
         )
         when = self._command_slot(earliest)
+        if self.cmd_log is not None:
+            self.cmd_log.record(when, "ACT", bank_index, row)
         bank.open_row = row
         bank.last_activate_ps = when
         self._last_activate_any_ps = when
@@ -137,6 +147,8 @@ class SdramDevice:
             else:
                 latest_pre = max(latest_pre, bank.ready_activate_ps)
         when = self._command_slot(latest_pre)
+        if self.cmd_log is not None:
+            self.cmd_log.record(when, "REF")
         done = when + self._cycles(self.timing.t_rfc)
         for bank in self.banks:
             bank.ready_activate_ps = max(bank.ready_activate_ps, done)
@@ -159,6 +171,9 @@ class SdramDevice:
             earliest = max(earliest, self._last_write_data_end_ps
                            + self._cycles(self.timing.t_wtr))
         when = self._command_slot(earliest)
+        if self.cmd_log is not None:
+            self.cmd_log.record(when, "WR" if is_write else "RD",
+                                bank_index, row)
         latency = self._cycles(self.timing.cl if not is_write else 1)
         clocks_needed = -(-beats // self.timing.beats_per_clock)
         first_data = max(when + latency, self._databus_free_ps)

@@ -146,6 +146,46 @@ def build_spans(txn: Transaction,
     return spans, instants
 
 
+def span_tiling_errors(txn: Transaction, spans: List[Span]) -> List[str]:
+    """Defects in a span tiling of ``txn`` (empty list = invariant holds).
+
+    The tiling invariant: spans cover the closed interval
+    ``[t_created, t_done]`` exactly — no gaps, no overlaps, no negative
+    durations — so per-hop durations sum to the end-to-end latency.
+    :func:`build_spans` produces this by construction from healthy
+    timestamps; the ``repro.check`` monitor runs this audit over *real*
+    platform runs so re-ordered or corrupted lifecycle stamps surface as
+    ``obs.span_tiling`` violations instead of silently skewed hop tables.
+    """
+    if txn.t_done is None or txn.t_created is None:
+        return []
+    errors: List[str] = []
+    if not spans:
+        errors.append("no spans for a completed transaction")
+        return errors
+    if spans[0].start_ps != txn.t_created:
+        errors.append(f"first span starts at {spans[0].start_ps}ps, not at "
+                      f"t_created={txn.t_created}ps")
+    prev_end = spans[0].start_ps
+    for span in spans:
+        if span.duration_ps < 0:
+            errors.append(f"span {span.name!r} has negative duration "
+                          f"{span.duration_ps}ps")
+        if span.start_ps != prev_end:
+            kind = "gap" if span.start_ps > prev_end else "overlap"
+            errors.append(f"{kind} of {abs(span.start_ps - prev_end)}ps "
+                          f"before span {span.name!r} at {span.start_ps}ps")
+        prev_end = span.end_ps
+    if prev_end != txn.t_done:
+        errors.append(f"last span ends at {prev_end}ps, not at "
+                      f"t_done={txn.t_done}ps")
+    total = sum(span.duration_ps for span in spans)
+    if txn.latency_ps is not None and total != txn.latency_ps:
+        errors.append(f"span durations sum to {total}ps but end-to-end "
+                      f"latency is {txn.latency_ps}ps")
+    return errors
+
+
 def hop_summary(recorders) -> Dict[str, LatencySummary]:
     """Aggregate span durations per hop name across recorders.
 

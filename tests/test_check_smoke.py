@@ -1,0 +1,48 @@
+"""``check_smoke`` tier: the invariant checkers in the tier-1 pytest flow.
+
+Two cheap end-to-end checks (select with ``-m check_smoke``):
+
+* one *checked run* of the full reference platform — every monitor attached,
+  zero violations expected;
+* one *seeded differential run* — a randomized configuration executed on
+  both kernel loop bodies, compared bit for bit.
+
+Both also run unmarked so the plain tier-1 invocation covers them; the
+marker exists so CI can select just this tier the way it selects
+``bench_smoke``.
+"""
+
+import pytest
+
+from repro.check import CheckedRun, checked, format_report, random_config
+from repro.core import Simulator
+from repro.platforms import build_platform
+from repro.platforms.config import PlatformConfig
+
+#: Fixed seed: the smoke tier must be deterministic run to run.
+SMOKE_SEED = 20070416  # the paper's DATE 2007 session date-ish tag
+
+
+@pytest.mark.check_smoke
+def test_reference_platform_checked_run_is_clean():
+    with checked() as session:
+        sim = Simulator()
+        platform = build_platform(sim, PlatformConfig())
+        platform.run()
+    violations = session.finalize()
+    assert violations == [], format_report(violations, limit=20)
+    # The run must have exercised the monitors, not skated past them.
+    checker = session.checkers[0]
+    assert checker.fabrics, "no fabric registered with the checker"
+    assert checker.bridges, "no bridge registered with the checker"
+    assert checker._grants, "no grants observed"
+    assert checker._accepts, "no acceptances observed"
+
+
+@pytest.mark.check_smoke
+def test_seeded_differential_run_is_clean():
+    outcome = CheckedRun(random_config(SMOKE_SEED))
+    assert outcome.ok, outcome.format()
+    assert outcome.fast_events == outcome.reference_events
+    assert outcome.fast_now == outcome.reference_now
+    assert outcome.fast == outcome.reference

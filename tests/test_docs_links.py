@@ -53,7 +53,8 @@ def test_internal_links_resolve(doc):
 
 #: Docs that anchor their claims to source files: every ``src/repro/...``
 #: or ``tests/...`` path they mention (links or inline code) must exist.
-_ANCHORED_DOCS = ("ARCHITECTURE.md", "PERFORMANCE.md", "OBSERVABILITY.md")
+_ANCHORED_DOCS = ("ARCHITECTURE.md", "PERFORMANCE.md", "OBSERVABILITY.md",
+                  "CORRECTNESS.md")
 
 
 @pytest.mark.parametrize("name", _ANCHORED_DOCS)
@@ -68,7 +69,7 @@ def test_docs_reference_only_real_modules(name):
 
 @pytest.mark.parametrize("name", _ANCHORED_DOCS)
 def test_docs_cross_link_each_other(name):
-    """The three deep-dive docs form a connected map: each links at least
+    """The deep-dive docs form a connected map: each links at least
     one of the others, so a reader can navigate between them."""
     text = (REPO_ROOT / "docs" / name).read_text()
     others = [other for other in _ANCHORED_DOCS if other != name]

@@ -71,3 +71,52 @@ def test_capture_only_adds_observation_not_events():
         traced = bench.SCENARIOS["platform_run"](1.0)
     assert traced == plain
     assert cap.completed(), "capture saw no transactions"
+
+
+@pytest.mark.bench_smoke
+@pytest.mark.parametrize("scenario", GUARDED)
+def test_checks_disabled_matches_baseline_event_counts(baseline, scenario):
+    """The ``repro.check`` hook sites (FIFO bounds guards, fabric
+    grant/accept/beat notifications) must not perturb the simulation when
+    no check session is active: event counts stay pinned to the PR 1
+    baseline.  This is the monitors-disabled half of the <2% overhead
+    claim — the guards are plain attribute tests that schedule nothing."""
+    from repro.core import kernel as _kernel
+
+    assert not _kernel._new_sim_hooks, "a stray session hook is installed"
+    events, sim_time = bench.SCENARIOS[scenario](1.0)
+    assert events == baseline[scenario]["events"], (
+        f"{scenario}: event count drifted from BENCH_kernel.json — "
+        "a check guard is perturbing the disabled path")
+    assert sim_time == baseline[scenario]["sim_time_ps"]
+
+
+@pytest.mark.bench_smoke
+def test_checks_disabled_throughput_not_collapsed(baseline):
+    """Monitors-disabled throughput stays pinned to BENCH_kernel.json.
+
+    The authoritative <2% regression gate is a full ``repro bench``
+    against the committed baseline; here the smoke-tier catastrophic
+    factor catches a guard accidentally landing on the per-event path."""
+    results = bench.run_benchmarks(names=["platform_run"], repeats=3,
+                                   scale=1.0)
+    measured = results["platform_run"]["events_per_sec"]
+    floor = baseline["platform_run"]["events_per_sec"] * CATASTROPHIC_FACTOR
+    assert measured >= floor, (
+        f"platform_run: {measured:,.0f} events/s vs baseline "
+        f"{baseline['platform_run']['events_per_sec']:,.0f} — the invariant "
+        "checkers are taxing the disabled path; run 'repro bench'")
+
+
+@pytest.mark.bench_smoke
+def test_checked_run_only_adds_observation_not_events():
+    """With monitors *enabled* the simulation must still be identical —
+    checkers record grants/accepts/beats, they never schedule events."""
+    from repro.check import checked
+
+    plain = bench.SCENARIOS["platform_run"](1.0)
+    with checked() as session:
+        monitored = bench.SCENARIOS["platform_run"](1.0)
+    assert monitored == plain
+    assert session.checkers, "checked() saw no simulators"
+    assert session.finalize() == []

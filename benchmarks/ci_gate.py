@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""CI performance gate: rerun the kernel bench scenarios and compare
+events/sec against the committed baseline (``BENCH_kernel.json``).
+
+A scenario that drops more than the threshold (default 15%) fails the
+gate with exit code 1.  The smoke job in ``.github/workflows/ci.yml``
+runs this after the ``bench_smoke`` marker tier; see ``docs/CI.md``.
+
+Overrides:
+
+* When a slowdown is expected and accepted (say, a correctness fix with
+  a known cost), apply the ``perf-regression-ok`` label to the PR — the
+  workflow exports ``CI_ALLOW_PERF_REGRESSION=1`` and the gate reports
+  the regression but exits 0.
+* When the new numbers are the intended steady state, refresh the
+  baseline with ``python benchmarks/ci_gate.py --update`` and commit
+  the rewritten ``BENCH_kernel.json``.
+
+Speed-ups beyond the threshold are reported, not failed: the committed
+baseline was measured on some other machine, and CI runners are only
+ever slower or faster wholesale.  The event-count columns *are* checked
+strictly — a changed event count means the simulation changed, and that
+belongs in a golden-corpus refresh, not a perf delta.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_THRESHOLD = 0.15
+
+
+def load_baseline(path):
+    try:
+        return json.loads(Path(path).read_text())
+    except FileNotFoundError:
+        return None
+    except ValueError as exc:
+        print(f"ci_gate: baseline {path} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return None
+
+
+def compare(baseline, current, threshold):
+    """Return (failures, report_lines) for current vs baseline."""
+    failures = []
+    lines = [f"{'scenario':<16}{'baseline ev/s':>15}{'current ev/s':>15}"
+             f"{'delta':>9}  verdict"]
+    for name in sorted(baseline):
+        if name not in current:
+            failures.append(f"{name}: present in baseline but not rerun")
+            continue
+        base = baseline[name]
+        cur = current[name]
+        if cur["events"] != base["events"]:
+            failures.append(
+                f"{name}: event count changed "
+                f"{base['events']} -> {cur['events']} — the simulation "
+                f"itself changed; refresh BENCH_kernel.json (--update) "
+                f"and the golden corpus together with the change")
+        base_rate = float(base["events_per_sec"])
+        cur_rate = float(cur["events_per_sec"])
+        delta = (cur_rate - base_rate) / base_rate if base_rate else 0.0
+        if delta < -threshold:
+            verdict = "FAIL"
+            failures.append(
+                f"{name}: {cur_rate:,.0f} ev/s is {-delta:.1%} below the "
+                f"baseline {base_rate:,.0f} ev/s (threshold {threshold:.0%})")
+        elif delta > threshold:
+            verdict = "fast"
+        else:
+            verdict = "ok"
+        lines.append(f"{name:<16}{base_rate:>15,.0f}{cur_rate:>15,.0f}"
+                     f"{delta:>+8.1%}  {verdict}")
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f"{name:<16}{'(new)':>15}"
+                     f"{float(current[name]['events_per_sec']):>15,.0f}")
+    return failures, lines
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="fail CI when kernel throughput regresses vs the "
+                    "committed BENCH_kernel.json baseline")
+    parser.add_argument("--baseline", default=str(BASELINE),
+                        help="baseline file (default BENCH_kernel.json)")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed events/sec drop as a fraction "
+                             "(default 0.15)")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="timed repeats per scenario; best is kept")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this run's numbers "
+                             "instead of gating")
+    args = parser.parse_args(argv)
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    from repro.bench import format_results, run_benchmarks, write_results
+
+    current = run_benchmarks(repeats=args.repeats)
+
+    if args.update:
+        write_results(args.baseline, current)
+        print(f"ci_gate: baseline {args.baseline} updated")
+        print(format_results(current))
+        return 0
+
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"ci_gate: no baseline at {args.baseline}; run with --update "
+              f"to create one", file=sys.stderr)
+        return 2
+
+    failures, lines = compare(baseline, current, args.threshold)
+    print("\n".join(lines))
+    if not failures:
+        print("ci_gate: throughput within threshold")
+        return 0
+
+    print(f"\nci_gate: {len(failures)} failure(s):", file=sys.stderr)
+    for failure in failures:
+        print(f"  - {failure}", file=sys.stderr)
+    if os.environ.get("CI_ALLOW_PERF_REGRESSION"):
+        print("ci_gate: CI_ALLOW_PERF_REGRESSION set "
+              "(perf-regression-ok label) — reporting only", file=sys.stderr)
+        return 0
+    print("ci_gate: apply the perf-regression-ok label for an accepted "
+          "slowdown, or refresh the baseline with --update", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -107,6 +107,14 @@ class BridgeBase(Component):
         """A converter turning child beats back into source-side beats."""
         return _BeatRelay(self, txn)
 
+    # ------------------------------------------------------------------
+    # checkpoint state
+    # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """The bridge's own counters; its ports are captured by the two
+        fabrics they belong to."""
+        return {"forwarded": self.forwarded.value}
+
 
 class _BeatRelay:
     """Byte-accurate response width converter for one read transaction.

@@ -124,6 +124,25 @@ class GenConvBridge(BridgeBase):
     def _wait_work(self):
         return self._relay_work.wait()
 
+    def snapshot_state(self, encoder):
+        """Store-and-forward state: every open relay job with its buffered
+        beats and width-conversion progress."""
+        state = super().snapshot_state(encoder)
+        state["in_order"] = self.in_order
+        state["jobs"] = [
+            {
+                "txn": encoder.tid_alias(job.txn.tid),
+                "child": encoder.tid_alias(job.child.tid),
+                "buffer": list(job.buffer),
+                "bytes_arrived": job.relay.bytes_arrived,
+                "beats_emitted": job.relay.beats_emitted,
+                "error_seen": job.relay.error_seen,
+                "crossed": job.crossed,
+                "is_ack": job.is_ack,
+            } for job in self._jobs
+        ]
+        return state
+
     # ------------------------------------------------------------------
     # return path
     # ------------------------------------------------------------------

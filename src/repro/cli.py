@@ -171,9 +171,19 @@ def cmd_platform(args) -> int:
     # finally: a failing run must still uninstall the process-wide
     # capture hook and write the trace collected so far.
     try:
-        sim = Simulator()
-        platform = build_platform(sim, config)
-        result = platform.run(max_ps=args.max_us * 1_000_000)
+        max_ps = int(args.max_us * 1_000_000)
+        if args.checkpoint_every:
+            from .snapshot import run_with_checkpoints
+
+            result, saved = run_with_checkpoints(
+                config, every_ps=int(args.checkpoint_every * 1_000_000),
+                out_dir=args.checkpoint_dir, max_ps=max_ps)
+            for path in saved:
+                print(f"checkpoint: {path}")
+        else:
+            sim = Simulator()
+            platform = build_platform(sim, config)
+            result = platform.run(max_ps=max_ps)
     finally:
         _finish_capture(args, session)
     print(f"platform:        {config.label()}")
@@ -390,6 +400,80 @@ def cmd_check(args) -> int:
     return 0
 
 
+def cmd_snapshot(args) -> int:
+    """Checkpoint/resume operations and golden-corpus maintenance.
+
+    ``repro snapshot --refresh-golden``       regenerate tests/golden/
+    ``repro snapshot --verify-golden``        replay the committed corpus
+    ``repro snapshot --summary``              list the committed corpus
+    ``repro snapshot take cfg.json [...]``    checkpoint a config mid-run
+    ``repro snapshot resume file.ckpt.json``  resume + verify bit-identity
+    """
+    from .snapshot import (
+        SnapshotError,
+        corpus_summary,
+        load_checkpoint,
+        refresh_golden,
+        resume_checkpoint,
+        save_checkpoint,
+        take_checkpoint,
+        verify_golden,
+    )
+
+    try:
+        if args.refresh_golden:
+            written = refresh_golden(names=args.only or None)
+            for path in written:
+                print(f"wrote {path}")
+            print(f"{len(written)} golden checkpoint(s) refreshed")
+            return 0
+        if args.verify_golden:
+            failures = verify_golden()
+            if failures:
+                print(f"{len(failures)} golden replay failure(s):")
+                for failure in failures:
+                    print(f"  - {failure}")
+                return 1
+            print("golden corpus replayed bit-identically")
+            return 0
+        if args.summary:
+            print(corpus_summary())
+            return 0
+        if args.action and not args.target:
+            print(f"error: snapshot {args.action} needs a target file",
+                  file=sys.stderr)
+            return 2
+        if args.action == "take":
+            from .platforms.loader import ConfigError, load_config
+
+            try:
+                config = load_config(args.target)
+            except ConfigError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            at_ps = int(args.at_us * 1_000_000) if args.at_us else None
+            outcome = take_checkpoint(config, at_ps=at_ps,
+                                      fraction=args.fraction,
+                                      max_ps=int(args.max_us * 1_000_000))
+            path = save_checkpoint(outcome.checkpoint, args.out)
+            print(f"checkpoint at {outcome.checkpoint.at_ps}ps "
+                  f"({outcome.checkpoint.events} events) -> {path}")
+            print(f"run finished at {outcome.final_time_ps}ps "
+                  f"({outcome.final_events} events)")
+            return 0
+        if args.action == "resume":
+            checkpoint = load_checkpoint(args.target)
+            outcome = resume_checkpoint(checkpoint)
+            print(outcome.format())
+            return 0 if outcome.ok else 1
+    except SnapshotError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print("nothing to do: pass take/resume or a --*-golden/--summary flag "
+          "(see repro snapshot --help)", file=sys.stderr)
+    return 2
+
+
 def cmd_bench(args) -> int:
     from . import bench
 
@@ -437,6 +521,14 @@ def build_parser() -> argparse.ArgumentParser:
     plat_parser.add_argument("--trace", metavar="PATH",
                              help="capture transaction lifecycles and write "
                                   "a Perfetto trace_event JSON file")
+    plat_parser.add_argument("--checkpoint-every", type=float, default=None,
+                             metavar="US",
+                             help="save a resumable checkpoint every US "
+                                  "microseconds of simulated time")
+    plat_parser.add_argument("--checkpoint-dir", default="checkpoints",
+                             metavar="DIR",
+                             help="directory for --checkpoint-every files "
+                                  "(default ./checkpoints)")
     plat_parser.set_defaults(func=cmd_platform)
 
     sweep_parser = sub.add_parser(
@@ -508,6 +600,40 @@ def build_parser() -> argparse.ArgumentParser:
                               help="violations to print before truncating "
                                    "(default 50)")
     check_parser.set_defaults(func=cmd_check)
+
+    snap_parser = sub.add_parser(
+        "snapshot", help="take/resume checkpoints and maintain the golden "
+                         "regression corpus")
+    snap_parser.add_argument("action", nargs="?", choices=["take", "resume"],
+                             help="take: checkpoint a platform config "
+                                  "mid-run; resume: replay a .ckpt.json "
+                                  "and verify bit-identity")
+    snap_parser.add_argument("target", nargs="?",
+                             help="platform config JSON (take) or "
+                                  "checkpoint file (resume)")
+    snap_parser.add_argument("--refresh-golden", action="store_true",
+                             help="regenerate the committed corpus under "
+                                  "tests/golden/ (or $REPRO_GOLDEN_DIR)")
+    snap_parser.add_argument("--only", action="append", metavar="NAME",
+                             help="with --refresh-golden: refresh only this "
+                                  "entry (repeatable)")
+    snap_parser.add_argument("--verify-golden", action="store_true",
+                             help="replay every committed golden checkpoint "
+                                  "and verify bit-identity")
+    snap_parser.add_argument("--summary", action="store_true",
+                             help="list the committed golden corpus")
+    snap_parser.add_argument("--at-us", type=float, default=None,
+                             help="checkpoint instant in microseconds "
+                                  "(default: --fraction of the run)")
+    snap_parser.add_argument("--fraction", type=float, default=0.5,
+                             help="checkpoint at this fraction of the run's "
+                                  "execution time (default 0.5)")
+    snap_parser.add_argument("--max-us", type=float, default=20_000.0,
+                             help="simulation bound in microseconds")
+    snap_parser.add_argument("--out", default="checkpoints", metavar="PATH",
+                             help="checkpoint file or directory for 'take' "
+                                  "(default ./checkpoints)")
+    snap_parser.set_defaults(func=cmd_snapshot)
 
     bench_parser = sub.add_parser(
         "bench", help="run the kernel performance scenarios and write "

@@ -3,18 +3,20 @@
 A :class:`Component` is anything with a name, a simulator, optionally a clock
 domain, and zero or more processes: bus nodes, bridges, memories, traffic
 generators, CPU models.  The class only provides plumbing — hierarchy
-tracking, process registration with readable names, and a hook for the
-statistics system — so that model code stays focused on behaviour.
+tracking, process registration with readable names, a hook for the
+statistics system, and the checkpoint state protocol — so that model code
+stays focused on behaviour.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Generator, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Generator, Iterator, List, Optional
 
 from .events import Event, Process
 from .kernel import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..snapshot.state import StateEncoder
     from .clock import Clock
 
 
@@ -49,7 +51,7 @@ class Component:
         self.processes.append(proc)
         return proc
 
-    def iter_tree(self):
+    def iter_tree(self) -> Iterator["Component"]:
         """Yield this component and all descendants, depth first."""
         yield self
         for child in self.children:
@@ -66,6 +68,45 @@ class Component:
             else:
                 raise KeyError(f"no component {part!r} under {node.path!r}")
         return node
+
+    # ------------------------------------------------------------------
+    # checkpoint state protocol
+    # ------------------------------------------------------------------
+    def snapshot_state(self, encoder: "StateEncoder") -> Dict[str, Any]:
+        """Architectural state of this component at the current instant.
+
+        Components override this to expose whatever distinguishes two runs
+        at the same simulation time: FIFO contents, in-flight transactions,
+        arbiter pointers, RNG stream positions, cache tags.  Values may be
+        plain JSON types, floats, :class:`~repro.interconnect.types.Transaction`
+        / ``ResponseBeat`` objects, enums, or nested containers of those —
+        ``encoder`` canonicalises them (and provides ``digest()`` for bulky
+        state).  Return ``{}`` (the default) when the component carries no
+        state of its own; such components are omitted from the tree.
+        """
+        return {}
+
+    def restore_state(self, state: Dict[str, Any],
+                      encoder: "StateEncoder") -> None:
+        """Adopt (or verify) stored checkpoint state for this component.
+
+        Resume works by deterministic re-execution: the platform is
+        re-elaborated and fast-forwarded to the checkpoint instant, so by
+        the time this hook runs the component should already *be* in the
+        stored state.  The default therefore re-captures
+        :meth:`snapshot_state` and verifies it bit for bit against
+        ``state``, raising :class:`~repro.snapshot.StateMismatch` on any
+        divergence.  Components whose state can instead be directly
+        installed may override this to do so.
+        """
+        from ..snapshot.checkpoint import StateMismatch
+        from ..snapshot.state import diff_states
+
+        actual = encoder.encode(self.snapshot_state(encoder))
+        if actual != state:
+            diffs = diff_states(state, actual, prefix=self.path)
+            raise StateMismatch(
+                f"component {self.path!r} diverged from checkpoint", diffs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<{type(self).__name__} {self.path}>"

@@ -11,13 +11,15 @@ code base were found).
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, Dict, Iterable, List, Optional
 
 from .component import Component
+from .events import Event
 from .fifo import Fifo
+from .kernel import Simulator
 
 
-def _fifos_of(obj) -> List[Fifo]:
+def _fifos_of(obj: object) -> List[Fifo]:
     """FIFOs directly reachable from ``obj``'s attributes."""
     found = []
     for value in vars(obj).values():
@@ -26,9 +28,9 @@ def _fifos_of(obj) -> List[Fifo]:
     return found
 
 
-def _scheduled_wakes(sim) -> dict:
+def _scheduled_wakes(sim: Simulator) -> Dict[int, int]:
     """Earliest scheduled fire time per queued event, keyed by ``id()``."""
-    table: dict = {}
+    table: Dict[int, int] = {}
     for when, _priority, _sequence, event in sim._queue:
         known = table.get(id(event))
         if known is None or when < known:
@@ -36,7 +38,7 @@ def _scheduled_wakes(sim) -> dict:
     return table
 
 
-def _wake_time(event, table: dict):
+def _wake_time(event: Event, table: Dict[int, int]) -> Optional[int]:
     """When ``event`` will fire, if anything scheduled leads to it.
 
     Composite conditions (``AllOf``/``AnyOf``) are resolved through their
@@ -97,12 +99,12 @@ def diagnose(root: Component) -> str:
     return "\n".join(lines)
 
 
-def incomplete_transactions(transactions) -> List:
+def incomplete_transactions(transactions: Iterable[Any]) -> List[Any]:
     """Filter a transaction population down to the never-completed ones."""
     return [txn for txn in transactions if txn.t_done is None]
 
 
-def stall_summary(root: Component, transactions) -> str:
+def stall_summary(root: Component, transactions: Iterable[Any]) -> str:
     """Diagnosis plus the stuck-transaction list (the usual entry point)."""
     stuck = incomplete_transactions(transactions)
     lines = [f"{len(stuck)} transaction(s) never completed"]

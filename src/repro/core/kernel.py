@@ -41,7 +41,10 @@ from __future__ import annotations
 import heapq
 from functools import partial
 from heapq import heappop, heappush
-from typing import Any, Generator, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.registry import MetricRegistry
 
 from .events import (
     AllOf,
@@ -140,7 +143,7 @@ class Simulator:
         return self._processed_events
 
     @property
-    def metrics(self):
+    def metrics(self) -> "MetricRegistry":
         """The simulator's hierarchical metric registry (created lazily).
 
         Every component registers its counters, gauges, histograms and

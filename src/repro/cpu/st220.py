@@ -50,6 +50,29 @@ class St220Core(Component):
         self.process(self._run(), name="core")
 
     # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Retirement progress + full cache contents (tag arrays digested:
+        comparing them bit for bit matters, inlining them does not)."""
+        return {
+            "blocks_retired": self.blocks_retired.value,
+            "stall_cycles": self.stall_cycles.value,
+            "icache": self._cache_state(self.icache, encoder),
+            "dcache": self._cache_state(self.dcache, encoder),
+            "done": self.done.triggered,
+        }
+
+    @staticmethod
+    def _cache_state(cache: Cache, encoder):
+        return {
+            "hits": cache.hits.value,
+            "misses": cache.misses.value,
+            "writebacks": cache.writebacks.value,
+            "lines": encoder.digest({
+                set_index: [[tag, dirty] for tag, dirty in lines.items()]
+                for set_index, lines in cache._lines.items()}),
+        }
+
+    # ------------------------------------------------------------------
     def _run(self):
         clk = self.clock
         for block in self.benchmark:

@@ -64,6 +64,18 @@ class DisplayController(Component):
         self.process(self._scanout(), name="scanout")
 
     # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Scan-out progress and the recorded deadline margins."""
+        return {
+            "underruns": self.underruns.value,
+            "lines_displayed": self.lines_displayed.value,
+            "margins_ps": list(self.margins_ps),
+            "window_available": self._window.available,
+            "arrived": [event.triggered for event in self._arrivals],
+            "done": self.done.triggered,
+        }
+
+    # ------------------------------------------------------------------
     def _fetch_line(self, index: int):
         """Issue the bursts of one line and wait for all of them."""
         base = self.framebuffer_base + index * self.line_bytes

@@ -85,6 +85,23 @@ class DmaEngine(Component):
         self._started = False
 
     # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Per-channel copy progress."""
+        return {
+            "started": self._started,
+            "bursts_issued": self.bursts_issued.value,
+            "channels": [
+                {
+                    "index": channel.index,
+                    "descriptors": len(channel.descriptors),
+                    "bytes_moved": channel.bytes_moved,
+                    "done": channel.done.triggered,
+                } for channel in self.channels
+            ],
+            "all_done": self.all_done.triggered,
+        }
+
+    # ------------------------------------------------------------------
     def program(self, descriptors: Sequence[DmaDescriptor]) -> DmaChannel:
         """Add a channel with the given descriptor chain."""
         if self._started:

@@ -50,6 +50,11 @@ class AhbLayer(Fabric):
             f"{name}.pipelined_handovers")
         self.process(self._bus_process(), name="bus")
 
+    def snapshot_state(self, encoder):
+        state = super().snapshot_state(encoder)
+        state["pipelined_handovers"] = self.pipelined_handovers.value
+        return state
+
     def _bus_process(self):
         clk = self.clock
         pipelined = False  # True when the previous transfer just ended

@@ -62,6 +62,12 @@ class AxiFabric(Fabric):
         self.process(self._data_return_process(want_acks=False), name="r")
         self.process(self._data_return_process(want_acks=True), name="b")
 
+    def snapshot_state(self, encoder):
+        state = super().snapshot_state(encoder)
+        state["write_arbiter"] = encoder.arbiter(self.write_arbiter)
+        state["r_interleaves"] = self.r_interleaves.value
+        return state
+
     # ------------------------------------------------------------------
     # request side (AR / AW+W)
     # ------------------------------------------------------------------

@@ -344,3 +344,33 @@ class Fabric(Component):
     def utilization_report(self) -> Dict[str, float]:
         """Utilisation per channel, at the current time."""
         return {name: mon.utilization() for name, mon in sorted(self.channels.items())}
+
+    # ------------------------------------------------------------------
+    # checkpoint state
+    # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Port queues, credits, counters and arbiter state (all protocols).
+
+        In-flight transactions appear here through the port FIFOs they are
+        queued in; beats mid-transfer on a channel are generator-local and
+        covered by the kernel's pending-event profile instead.
+        """
+        return {
+            "initiators": {
+                port.name: {
+                    "pending": port.pending.snapshot(),
+                    "credits": port.credits.available,
+                    "issued": port.issued.value,
+                    "completed": port.completed.value,
+                } for port in self.initiators
+            },
+            "targets": {
+                port.name: {
+                    "requests": port.request_fifo.snapshot(),
+                    "responses": port.response_fifo.snapshot(),
+                    "accepted": port.accepted.value,
+                } for port in self.targets
+            },
+            "arbiter": encoder.arbiter(self.arbiter),
+            "decode_errors": self.decode_errors.value,
+        }

@@ -61,7 +61,17 @@ class StbusCrossbar(StbusNode):
         self.resp_channel = self.channel("response")
         self._target_arbiters: Dict[str, Arbiter] = {}
         self._lanes: Dict[str, Semaphore] = {}
+        self.lock_breaks = sim.metrics.counter(f"{name}.lock_breaks")
         self.process(self._decode_guard(), name="decode_guard")
+
+    def snapshot_state(self, encoder):
+        state = super().snapshot_state(encoder)
+        state["target_arbiters"] = {
+            name: encoder.arbiter(arbiter)
+            for name, arbiter in self._target_arbiters.items()}
+        state["lanes"] = {name: lane.available
+                          for name, lane in self._lanes.items()}
+        return state
 
     # ------------------------------------------------------------------
     def add_target(self, name: str, address_range, request_depth: int = 1,
@@ -136,6 +146,7 @@ class StbusCrossbar(StbusNode):
                 if (stalled >= self.MAX_LOCK_STALL_ROUNDS
                         and isinstance(arbiter, MessageArbiter)):
                     arbiter.break_lock()
+                    self.lock_breaks.add()
                 yield clk.edge()
                 continue
             stalled = 0

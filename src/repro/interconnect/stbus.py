@@ -233,6 +233,12 @@ class StbusNode(Fabric):
         # on the target port.
         return min(candidates, key=lambda cand: cand[0].name)
 
+    def snapshot_state(self, encoder):
+        state = super().snapshot_state(encoder)
+        state["bus_type"] = int(self.bus_type)
+        state["lock_breaks"] = self.lock_breaks.value
+        return state
+
     @staticmethod
     def _packet_streamable(target: TargetPort, beat: ResponseBeat) -> bool:
         """Can this packet be streamed without mid-packet starvation?"""

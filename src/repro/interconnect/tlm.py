@@ -155,6 +155,16 @@ class TlmNode(Fabric):
         self.tlm_targets.append(target)
         return target
 
+    def snapshot_state(self, encoder):
+        state = super().snapshot_state(encoder)
+        state["resp_free_at_ps"] = self._resp_free_at_ps
+        state["tlm_targets"] = {
+            target.name: {"free_at_ps": target.free_at_ps,
+                          "served": target.served}
+            for target in self.tlm_targets
+        }
+        return state
+
     def tlm_route(self, address: int) -> _TlmTarget:
         for target in self.tlm_targets:
             if target.address_range.contains(address):

@@ -125,6 +125,41 @@ class LmiController(Component):
                    geometry=geometry, parent=parent)
 
     # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Optimisation-engine + SDRAM device state (the port FIFOs are
+        captured by the fabric the port belongs to)."""
+        device = self.device
+        return {
+            "last_was_write": self._last_was_write,
+            "next_refresh_ps": self._next_refresh_ps,
+            "served": self.served.value,
+            "merges": self.merges.value,
+            "lookahead_promotions": self.lookahead_promotions.value,
+            "sdram": {
+                "banks": [
+                    {
+                        "open_row": bank.open_row,
+                        "ready_activate_ps": bank.ready_activate_ps,
+                        "ready_rw_ps": bank.ready_rw_ps,
+                        "ready_precharge_ps": bank.ready_precharge_ps,
+                        "last_activate_ps": bank.last_activate_ps,
+                    } for bank in device.banks
+                ],
+                "cmdbus_free_ps": device._cmdbus_free_ps,
+                "databus_free_ps": device._databus_free_ps,
+                "last_write_data_end_ps": device._last_write_data_end_ps,
+                "last_activate_any_ps": device._last_activate_any_ps,
+                "activates": device.activates.value,
+                "precharges": device.precharges.value,
+                "reads": device.reads.value,
+                "writes": device.writes.value,
+                "refreshes": device.refreshes.value,
+                "row_hits": device.row_hits.value,
+                "row_misses": device.row_misses.value,
+            },
+        }
+
+    # ------------------------------------------------------------------
     def _on_input_level(self, _time: int, old: int, new: int) -> None:
         if new > old:
             self._work.notify()

@@ -69,6 +69,22 @@ class OnChipMemory(Component):
         self.process(self._dispatch(), name="dispatch")
 
     # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Array-access bookkeeping.  ``_turn_events`` holds live kernel
+        events, so only the waiting tickets (the keys) are captured —
+        the events themselves are reproduced by replay."""
+        return {
+            "reads": self.reads.value,
+            "writes": self.writes.value,
+            "beats_served": self.beats_served.value,
+            "slots_available": self._slots.available,
+            "data_port_available": self._data_port.available,
+            "order": self._order,
+            "next_to_stream": self._next_to_stream,
+            "waiting_tickets": sorted(self._turn_events),
+        }
+
+    # ------------------------------------------------------------------
     def _service_cycles(self, total_bytes: int) -> int:
         """Array cycles for a burst: ``1 + wait_states`` per memory word."""
         words = max(1, -(-total_bytes // self.width_bytes))

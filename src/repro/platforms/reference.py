@@ -84,6 +84,7 @@ class PlatformInstance(Component):
         self._finish_ps: Optional[int] = None
         self._ip_index = 0
         self._phase2_entries = 0
+        self._prepared = False
         self._build()
 
     def _on_ip_phase(self, index: int) -> None:
@@ -308,6 +309,23 @@ class PlatformInstance(Component):
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
+    def prepare(self) -> None:
+        """Arm the finish detector without advancing the simulation.
+
+        Normally :meth:`run` does this implicitly; the checkpoint runner
+        calls it directly so it can interleave ``sim.run(until=...)`` steps
+        with state capture before finally draining the platform.
+        Idempotent.
+        """
+        if self._prepared:
+            return
+        self._prepared = True
+        done_events = [iptg.done for iptg in self.iptgs]
+        if self.cpu is not None:
+            done_events.append(self.cpu.done)
+        finish = self.sim.all_of(done_events)
+        finish.add_callback(self._record_finish)
+
     def run(self, max_ps: Optional[int] = None) -> RunResult:
         """Simulate to completion and summarise.
 
@@ -315,11 +333,7 @@ class PlatformInstance(Component):
         drain by then raises, because a silently truncated run would
         corrupt execution-time comparisons.
         """
-        done_events = [iptg.done for iptg in self.iptgs]
-        if self.cpu is not None:
-            done_events.append(self.cpu.done)
-        finish = self.sim.all_of(done_events)
-        finish.add_callback(self._record_finish)
+        self.prepare()
         self.sim.run(until=max_ps)
         if self._finish_ps is None:
             raise RuntimeError(
@@ -329,6 +343,12 @@ class PlatformInstance(Component):
 
     def _record_finish(self, _event) -> None:
         self._finish_ps = self.sim.now
+
+    def snapshot_state(self, encoder) -> Dict[str, object]:
+        return {
+            "finish_ps": self._finish_ps,
+            "phase2_entries": self._phase2_entries,
+        }
 
     def result(self) -> RunResult:
         """Summarise the completed run."""

@@ -1,0 +1,55 @@
+"""Canonical state extraction for arbitration policies.
+
+Arbiters keep the subtlest interconnect state — round-robin rotation,
+grant recency, lottery RNG position, message locks — and key it by live
+port objects.  This module flattens each policy to JSON using the
+encoder's stable source-key names; it lives beside the encoder (rather
+than as methods on the arbiters) so the interconnect layer stays free of
+snapshot imports.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from ..interconnect.arbiter import (
+    Arbiter,
+    FixedPriority,
+    LeastRecentlyGranted,
+    MessageArbiter,
+    RoundRobin,
+    WeightedLottery,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .state import StateEncoder
+
+
+def arbiter_state(arbiter: Arbiter, encoder: "StateEncoder") -> Dict[str, Any]:
+    """Flatten one arbiter (and any wrapped inner policy) to plain state."""
+    state: Dict[str, Any] = {"kind": type(arbiter).__name__}
+    if isinstance(arbiter, MessageArbiter):
+        state["locked_key"] = (
+            None if arbiter._locked_key is None
+            else encoder.source_key(arbiter._locked_key))
+        state["locked_message"] = encoder.message_alias(
+            arbiter._locked_message)
+        state["inner"] = arbiter_state(arbiter.inner, encoder)
+    elif isinstance(arbiter, RoundRobin):
+        state["order"] = [encoder.source_key(key)
+                          for key in arbiter._order]
+    elif isinstance(arbiter, LeastRecentlyGranted):
+        state["tick"] = arbiter._tick
+        state["last_grant"] = {
+            str(encoder.source_key(key)): tick
+            for key, tick in arbiter._last_grant.items()}
+    elif isinstance(arbiter, WeightedLottery):
+        # The Mersenne Twister state is 600+ ints; a digest compares it
+        # bit for bit without bloating the checkpoint.
+        state["rng"] = encoder.digest(arbiter._rng.getstate())
+    elif isinstance(arbiter, FixedPriority):
+        pass  # stateless
+    return state
+
+
+__all__ = ["arbiter_state"]

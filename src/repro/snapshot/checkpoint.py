@@ -1,0 +1,482 @@
+"""Versioned, content-addressed checkpoints with verified resume.
+
+A checkpoint records one platform run at a chosen simulation instant:
+the configuration document, the kernel position, and the canonical
+component state tree from :func:`~repro.snapshot.state.capture_state`.
+Python cannot serialise live generator frames, so resume is *deterministic
+re-execution*: re-elaborate the configuration on a fresh kernel,
+fast-forward to the checkpoint instant, then run ``restore_state()`` on
+every component — which verifies the reconstructed state bit for bit
+against the stored tree — before letting the run continue.  Continuing a
+paused run is bit-identical to an uninterrupted one (a kernel guarantee
+pinned by ``tests/test_kernel.py``), so a verified resume point makes the
+whole continuation trustworthy.
+
+On-disk format (``*.ckpt.json``)::
+
+    {
+      "format": 1,                  # SNAPSHOT_FORMAT, checked on load
+      "generator": "repro.snapshot",
+      "config": {...},              # platform document (config_to_dict)
+      "max_ps": 20000000000000,     # run bound the checkpoint was taken under
+      "at_ps": 123456,              # checkpoint instant
+      "events": 4242,               # events processed up to at_ps
+      "state": {"kernel": ..., "components": {...}},
+      "state_digest": "sha256...",  # content address of "state"
+      "expect": {                   # optional: recorded final outcome
+        "final_time_ps": ..., "final_events": ...,
+        "result": {...}, "result_digest": "sha256..."
+      },
+      "payload_digest": "sha256..." # over everything above; detects corruption
+    }
+
+Files are content-addressed (``<state_digest[:16]>.ckpt.json`` when saved
+into a directory) and written atomically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from ..analysis.metrics import RunResult
+from ..core.kernel import Simulator
+from ..platforms.config import PlatformConfig
+from ..platforms.loader import config_from_dict, config_to_dict
+from ..platforms.reference import PlatformInstance, build_platform
+from ..sweep import DEFAULT_MAX_PS, result_to_dict
+from .state import (
+    StateEncoder,
+    canonical_json,
+    capture_state,
+    diff_states,
+    kernel_state,
+    state_digest,
+)
+
+#: Bumped whenever the checkpoint document schema or the state-tree
+#: encoding changes; old files then fail with :class:`SnapshotFormatError`.
+SNAPSHOT_FORMAT = 1
+
+_GENERATOR = "repro.snapshot"
+
+
+class SnapshotError(RuntimeError):
+    """A checkpoint could not be read, written, or trusted."""
+
+
+class SnapshotFormatError(SnapshotError):
+    """The checkpoint file's format version does not match this code."""
+
+
+class StateMismatch(SnapshotError):
+    """A resumed run diverged from the stored checkpoint state."""
+
+    def __init__(self, message: str,
+                 diffs: Optional[List[str]] = None) -> None:
+        self.diffs: List[str] = list(diffs or [])
+        if self.diffs:
+            message = message + "\n  " + "\n  ".join(self.diffs)
+        super().__init__(message)
+
+
+# ----------------------------------------------------------------------
+# the checkpoint value object and its document form
+# ----------------------------------------------------------------------
+@dataclass
+class Checkpoint:
+    """One platform run frozen at a simulation instant."""
+
+    config: Dict[str, Any]
+    max_ps: int
+    at_ps: int
+    events: int
+    state: Dict[str, Any]
+    state_digest: str
+    expect: Optional[Dict[str, Any]] = None
+    generator: str = _GENERATOR
+    format: int = SNAPSHOT_FORMAT
+
+    def platform_config(self) -> PlatformConfig:
+        """The configuration this checkpoint was taken from."""
+        return config_from_dict(self.config)
+
+    def to_document(self) -> Dict[str, Any]:
+        document: Dict[str, Any] = {
+            "format": self.format,
+            "generator": self.generator,
+            "config": self.config,
+            "max_ps": self.max_ps,
+            "at_ps": self.at_ps,
+            "events": self.events,
+            "state": self.state,
+            "state_digest": self.state_digest,
+        }
+        if self.expect is not None:
+            document["expect"] = self.expect
+        document["payload_digest"] = _payload_digest(document)
+        return document
+
+    @classmethod
+    def from_document(cls, document: Dict[str, Any]) -> "Checkpoint":
+        try:
+            return cls(
+                config=document["config"],
+                max_ps=int(document["max_ps"]),
+                at_ps=int(document["at_ps"]),
+                events=int(document["events"]),
+                state=document["state"],
+                state_digest=document["state_digest"],
+                expect=document.get("expect"),
+                generator=document.get("generator", _GENERATOR),
+                format=int(document["format"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed checkpoint document: {exc}") \
+                from exc
+
+
+def _payload_digest(document: Dict[str, Any]) -> str:
+    """Digest of the document minus the digest field itself."""
+    payload = {key: value for key, value in document.items()
+               if key != "payload_digest"}
+    return state_digest(payload)
+
+
+def result_digest(result: RunResult) -> str:
+    """Content address of a :class:`RunResult` (floats bit-exact)."""
+    encoder = StateEncoder()
+    return state_digest(encoder.encode(dataclasses.asdict(result)))
+
+
+# ----------------------------------------------------------------------
+# persistence
+# ----------------------------------------------------------------------
+def save_checkpoint(checkpoint: Checkpoint,
+                    target: Union[str, Path]) -> Path:
+    """Write a checkpoint atomically; returns the path written.
+
+    ``target`` may be a directory (an existing one, or any path without a
+    ``.json`` suffix), in which case the file is content-addressed as
+    ``<state_digest[:16]>.ckpt.json`` inside it.
+    """
+    target = Path(target)
+    if target.suffix != ".json" or target.is_dir():
+        target.mkdir(parents=True, exist_ok=True)
+        target = target / f"{checkpoint.state_digest[:16]}.ckpt.json"
+    else:
+        target.parent.mkdir(parents=True, exist_ok=True)
+    document = checkpoint.to_document()
+    text = json.dumps(document, sort_keys=True, indent=1)
+    tmp = target.with_suffix(".tmp")
+    try:
+        tmp.write_text(text + "\n")
+        os.replace(tmp, target)
+    except OSError as exc:
+        raise SnapshotError(f"cannot write checkpoint {target}: {exc}") \
+            from exc
+    return target
+
+
+def load_checkpoint(path: Union[str, Path]) -> Checkpoint:
+    """Read and validate a checkpoint file.
+
+    Raises :class:`SnapshotFormatError` on a format-version mismatch and
+    :class:`SnapshotError` on unreadable, truncated, or tampered files
+    (the stored payload digest must match the recomputed one).
+    """
+    path = Path(path)
+    try:
+        document = json.loads(path.read_text())
+    except OSError as exc:
+        raise SnapshotError(f"cannot read checkpoint {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise SnapshotError(
+            f"checkpoint {path} is not valid JSON ({exc})") from exc
+    if not isinstance(document, dict):
+        raise SnapshotError(f"checkpoint {path}: top level must be an object")
+    version = document.get("format")
+    if version != SNAPSHOT_FORMAT:
+        raise SnapshotFormatError(
+            f"checkpoint {path} has format {version!r}; this build reads "
+            f"format {SNAPSHOT_FORMAT} — regenerate it with "
+            f"`repro snapshot --refresh-golden` or retake the checkpoint")
+    stored = document.get("payload_digest")
+    actual = _payload_digest(document)
+    if stored != actual:
+        raise SnapshotError(
+            f"checkpoint {path} is corrupt: payload digest mismatch "
+            f"(stored {str(stored)[:16]}..., recomputed {actual[:16]}...)")
+    checkpoint = Checkpoint.from_document(document)
+    if state_digest(checkpoint.state) != checkpoint.state_digest:
+        raise SnapshotError(
+            f"checkpoint {path} is corrupt: state digest mismatch")
+    return checkpoint
+
+
+# ----------------------------------------------------------------------
+# taking checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class TakeOutcome:
+    """A freshly taken checkpoint plus the run it was carved out of."""
+
+    checkpoint: Checkpoint
+    result: RunResult
+    final_time_ps: int
+    final_events: int
+
+
+def _snapshot_here(platform: PlatformInstance, config: PlatformConfig,
+                   max_ps: int) -> Checkpoint:
+    """Capture the platform's current instant as a checkpoint (no expect)."""
+    sim = platform.sim
+    state = capture_state(platform)
+    return Checkpoint(
+        config=config_to_dict(config),
+        max_ps=int(max_ps),
+        at_ps=sim.now,
+        events=sim.processed_events,
+        state=state,
+        state_digest=state_digest(state),
+    )
+
+
+def take_checkpoint(config: PlatformConfig,
+                    at_ps: Optional[int] = None,
+                    fraction: float = 0.5,
+                    max_ps: int = DEFAULT_MAX_PS) -> TakeOutcome:
+    """Run ``config``, pausing at ``at_ps`` to capture a checkpoint.
+
+    With ``at_ps=None`` the instant is chosen as ``fraction`` of the
+    run's execution time, which costs one extra probe run to learn it.
+    The run then continues to completion and its final outcome is
+    recorded in the checkpoint's ``expect`` block, so a later resume can
+    verify not just the mid-run state but the finished result.
+    """
+    if at_ps is None:
+        if not 0.0 < fraction < 1.0:
+            raise ValueError(f"fraction must be in (0, 1), got {fraction}")
+        probe_sim = Simulator()
+        probe = build_platform(probe_sim, config).run(max_ps=max_ps)
+        at_ps = max(1, int(probe.execution_time_ps * fraction))
+    if at_ps <= 0:
+        raise ValueError(f"at_ps must be positive, got {at_ps}")
+
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    platform.prepare()
+    sim.run(until=at_ps)
+    checkpoint = _snapshot_here(platform, config, max_ps)
+    result = platform.run(max_ps=max_ps)
+    checkpoint.expect = {
+        "final_time_ps": sim.now,
+        "final_events": sim.processed_events,
+        "result": result_to_dict(result),
+        "result_digest": result_digest(result),
+    }
+    return TakeOutcome(checkpoint=checkpoint, result=result,
+                       final_time_ps=sim.now,
+                       final_events=sim.processed_events)
+
+
+def run_with_checkpoints(config: PlatformConfig,
+                         every_ps: int,
+                         out_dir: Union[str, Path],
+                         max_ps: int = DEFAULT_MAX_PS
+                         ) -> Tuple[RunResult, List[Path]]:
+    """Run to completion, saving a checkpoint every ``every_ps``.
+
+    Backs the CLI ``--checkpoint-every`` flag for long runs.  Checkpoints
+    are written as soon as each interval is reached (so a killed run
+    leaves usable resume points behind); they therefore carry no
+    ``expect`` block — resume still verifies the full state tree.
+    Checkpointing stops once the platform's traffic has finished.
+    """
+    if every_ps <= 0:
+        raise ValueError(f"every_ps must be positive, got {every_ps}")
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    platform.prepare()
+    paths: List[Path] = []
+    next_at = every_ps
+    while next_at < max_ps:
+        sim.run(until=next_at)
+        if platform._finish_ps is not None:
+            break
+        paths.append(save_checkpoint(
+            _snapshot_here(platform, config, max_ps), out_dir))
+        next_at += every_ps
+    result = platform.run(max_ps=max_ps)
+    return result, paths
+
+
+# ----------------------------------------------------------------------
+# resuming checkpoints
+# ----------------------------------------------------------------------
+@dataclass
+class ResumeOutcome:
+    """Outcome of resuming a checkpoint to completion."""
+
+    checkpoint: Checkpoint
+    result: RunResult
+    final_time_ps: int
+    final_events: int
+    resumed_state_digest: str
+    #: Divergences from the checkpoint's ``expect`` block (empty when the
+    #: resumed run finished bit-identically to the recorded one).
+    mismatches: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def format(self) -> str:
+        lines = [f"resume @{self.checkpoint.at_ps}ps -> "
+                 f"{self.final_events} events, now={self.final_time_ps}ps"]
+        if self.mismatches:
+            lines.append("resumed run diverged from the recorded outcome:")
+            lines.extend(f"  {m}" for m in self.mismatches)
+        else:
+            lines.append("resumed run matches the recorded outcome "
+                         "bit for bit")
+        return "\n".join(lines)
+
+
+def _restore_platform(platform: PlatformInstance,
+                      checkpoint: Checkpoint) -> str:
+    """Verify a fast-forwarded platform against the stored state tree.
+
+    Walks the component tree in capture order calling ``restore_state()``
+    (the default implementation re-captures and compares), then checks the
+    kernel position and the whole-tree digest.  Raises
+    :class:`StateMismatch` on the first divergence.
+    """
+    stored = checkpoint.state
+    stored_components: Dict[str, Any] = stored.get("components", {})
+    encoder = StateEncoder()
+
+    kernel_actual = encoder.encode(kernel_state(platform.sim, encoder))
+    kernel_diffs = diff_states(stored.get("kernel", {}), kernel_actual,
+                               prefix="kernel")
+    if kernel_diffs:
+        raise StateMismatch(
+            "kernel position diverged from checkpoint", kernel_diffs)
+
+    seen = set()
+    for component in platform.iter_tree():
+        state = stored_components.get(component.path)
+        if state is None:
+            # Captured as stateless: it must still be stateless now.
+            raw = component.snapshot_state(encoder)
+            if raw:
+                raise StateMismatch(
+                    f"component {component.path!r} has state the "
+                    f"checkpoint recorded as empty",
+                    diff_states({}, encoder.encode(raw),
+                                prefix=component.path))
+            continue
+        seen.add(component.path)
+        component.restore_state(state, encoder)
+    missing = sorted(set(stored_components) - seen)
+    if missing:
+        raise StateMismatch(
+            "checkpointed components absent from the re-elaborated "
+            "platform", [f"{path}: missing" for path in missing])
+
+    actual_tree = capture_state(platform)
+    digest = state_digest(actual_tree)
+    if digest != checkpoint.state_digest:
+        raise StateMismatch(
+            f"state tree digest mismatch after restore "
+            f"(stored {checkpoint.state_digest[:16]}..., "
+            f"resumed {digest[:16]}...)",
+            diff_states(stored, actual_tree))
+    return digest
+
+
+def resume_checkpoint(checkpoint: Checkpoint,
+                      max_ps: Optional[int] = None,
+                      verify: bool = True) -> ResumeOutcome:
+    """Resume a checkpoint and run it to completion.
+
+    Re-elaborates the stored configuration on a fresh kernel,
+    fast-forwards deterministically to the checkpoint instant, verifies
+    every component against the stored state tree (unless ``verify`` is
+    off), then continues the run.  The returned outcome reports any
+    divergence from the checkpoint's recorded final result.
+    """
+    config = checkpoint.platform_config()
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    platform.prepare()
+    sim.run(until=checkpoint.at_ps)
+
+    if verify:
+        digest = _restore_platform(platform, checkpoint)
+    else:
+        digest = state_digest(capture_state(platform))
+
+    result = platform.run(
+        max_ps=checkpoint.max_ps if max_ps is None else max_ps)
+
+    mismatches: List[str] = []
+    expect = checkpoint.expect
+    if verify and expect is not None and max_ps is None:
+        if sim.now != expect.get("final_time_ps"):
+            mismatches.append(f"final time: resumed={sim.now}ps "
+                              f"recorded={expect.get('final_time_ps')}ps")
+        if sim.processed_events != expect.get("final_events"):
+            mismatches.append(
+                f"processed events: resumed={sim.processed_events} "
+                f"recorded={expect.get('final_events')}")
+        digest_now = result_digest(result)
+        if digest_now != expect.get("result_digest"):
+            mismatches.append(
+                f"result digest: resumed={digest_now[:16]}... "
+                f"recorded={str(expect.get('result_digest'))[:16]}...")
+            recorded = expect.get("result")
+            if isinstance(recorded, dict):
+                for fld in dataclasses.fields(RunResult):
+                    now_value = getattr(result, fld.name)
+                    then_value = recorded.get(fld.name)
+                    if _jsonish(now_value) != _jsonish(then_value):
+                        mismatches.append(
+                            f"RunResult.{fld.name}: resumed={now_value!r} "
+                            f"recorded={then_value!r}")
+
+    return ResumeOutcome(
+        checkpoint=checkpoint,
+        result=result,
+        final_time_ps=sim.now,
+        final_events=sim.processed_events,
+        resumed_state_digest=digest,
+        mismatches=mismatches,
+    )
+
+
+def _jsonish(value: Any) -> str:
+    """Comparable canonical form for result fields round-tripped via JSON."""
+    encoder = StateEncoder()
+    return canonical_json(encoder.encode(value))
+
+
+__all__ = [
+    "SNAPSHOT_FORMAT",
+    "Checkpoint",
+    "ResumeOutcome",
+    "SnapshotError",
+    "SnapshotFormatError",
+    "StateMismatch",
+    "TakeOutcome",
+    "load_checkpoint",
+    "resume_checkpoint",
+    "result_digest",
+    "run_with_checkpoints",
+    "save_checkpoint",
+    "take_checkpoint",
+]

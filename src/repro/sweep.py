@@ -53,6 +53,7 @@ import itertools
 import json
 import os
 import pickle
+import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import (
@@ -145,13 +146,26 @@ class SweepOutcome:
 
 
 def default_cache_dir() -> Path:
-    """Cache root: ``$REPRO_SWEEP_CACHE`` or ``~/.cache/repro/sweeps``."""
+    """Cache root: ``$REPRO_SWEEP_CACHE``, ``$XDG_CACHE_HOME/repro/sweeps``
+    or ``~/.cache/repro/sweeps``.
+
+    On CI runners (``$CI`` set) and on hosts without a resolvable home
+    directory the default drops to a per-boot temp directory instead, so
+    sweeps stay hermetic and never fail over an unwritable ``$HOME``.
+    """
     override = os.environ.get("REPRO_SWEEP_CACHE")
     if override:
         return Path(override)
     xdg = os.environ.get("XDG_CACHE_HOME")
-    base = Path(xdg) if xdg else Path.home() / ".cache"
-    return base / "repro" / "sweeps"
+    if xdg:
+        return Path(xdg) / "repro" / "sweeps"
+    if os.environ.get("CI"):
+        return Path(tempfile.gettempdir()) / "repro-sweeps"
+    try:
+        home = Path.home()
+    except (KeyError, RuntimeError):
+        return Path(tempfile.gettempdir()) / "repro-sweeps"
+    return home / ".cache" / "repro" / "sweeps"
 
 
 class SweepCache:
@@ -164,7 +178,16 @@ class SweepCache:
     """
 
     def __init__(self, root: Union[str, Path, None] = None) -> None:
-        self.root = Path(root) if root is not None else default_cache_dir()
+        self._root: Optional[Path] = Path(root) if root is not None else None
+
+    @property
+    def root(self) -> Path:
+        """The cache directory, resolved lazily: constructing a cache must
+        never fail (or create anything) on hosts without a usable $HOME —
+        only actual cache traffic touches the filesystem."""
+        if self._root is None:
+            self._root = default_cache_dir()
+        return self._root
 
     def path_for(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -388,6 +411,60 @@ def sweep(configs: Iterable[PlatformConfig],
             events=original.events, sim_time_ps=original.sim_time_ps,
             cached=True)
     return outcomes  # type: ignore[return-value]
+
+
+def warm_sweep(configs: Iterable[PlatformConfig],
+               checkpoint_dir: Union[str, Path],
+               max_ps: int = DEFAULT_MAX_PS,
+               fraction: float = 0.5) -> List[SweepOutcome]:
+    """Warm-started sweep: every point runs from a verified checkpoint.
+
+    The first invocation populates ``checkpoint_dir`` with one mid-run
+    checkpoint per configuration (keyed like the result cache) while
+    producing the results; later invocations resume each point from its
+    stored checkpoint, which re-verifies the entire state tree bit for
+    bit at the checkpoint instant before continuing — so any simulator
+    change that silently alters behaviour is caught at the prefix, not
+    discovered as drifted sweep numbers.  Outcomes are bit-identical to
+    :func:`sweep` either way; ``cached=True`` marks resumed points.
+    Serial by design: resume verification attaches to in-process state.
+    """
+    from .snapshot import (
+        SnapshotError,
+        load_checkpoint,
+        resume_checkpoint,
+        save_checkpoint,
+        take_checkpoint,
+    )
+
+    root = Path(checkpoint_dir)
+    outcomes: List[SweepOutcome] = []
+    for config in configs:
+        key = config_key(config, max_ps)
+        path = root / f"{key}.ckpt.json"
+        if path.is_file():
+            try:
+                resumed = resume_checkpoint(load_checkpoint(path))
+            except SnapshotError as exc:
+                raise SweepError(
+                    f"warm-start checkpoint {path.name} failed: {exc}") \
+                    from exc
+            if not resumed.ok:
+                raise SweepError(
+                    f"warm-start checkpoint {path.name} diverged:\n  "
+                    + "\n  ".join(resumed.mismatches))
+            outcomes.append(SweepOutcome(
+                config=config, key=key, result=resumed.result,
+                events=resumed.final_events,
+                sim_time_ps=resumed.final_time_ps, cached=True))
+            continue
+        taken = take_checkpoint(config, fraction=fraction, max_ps=max_ps)
+        save_checkpoint(taken.checkpoint, path)
+        outcomes.append(SweepOutcome(
+            config=config, key=key, result=taken.result,
+            events=taken.final_events, sim_time_ps=taken.final_time_ps,
+            cached=False))
+    return outcomes
 
 
 def parallel_map(fn: Callable[[Any], Any], items: Iterable[Any],

@@ -83,6 +83,18 @@ class MultiAgentIp(Component):
             base = address_base + i * (address_span // max(1, len(agents)))
             self.process(self._agent(i, spec, port, base), name=spec.name)
 
+    def snapshot_state(self, encoder):
+        """Pipeline synchronisation points.  The per-item :class:`Iptg`
+        children are components of their own and capture themselves; replay
+        recreates them in the same order."""
+        return {
+            "finished": self._finished,
+            "spawned_iptgs": len(self.iptgs),
+            "slots": [slot.available for slot in self._slots],
+            "ready": [ready.available for ready in self._ready],
+            "done": self.done.triggered,
+        }
+
     def _agent(self, index: int, spec: AgentSpec, port: InitiatorPort,
                base: int):
         """Process ``spec.items`` items, respecting pipeline dependencies."""

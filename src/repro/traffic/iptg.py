@@ -105,6 +105,19 @@ class Iptg(Component):
         self.process(self._run(), name="gen")
 
     # ------------------------------------------------------------------
+    def snapshot_state(self, encoder):
+        """Generator progress: RNG stream position, issued transactions
+        (digested — the full list is bulky), completion status."""
+        return {
+            "rng": encoder.digest(self.rng.getstate()),
+            "generated": self.generated.value,
+            "completed": self.completed,
+            "transactions": encoder.digest(
+                [encoder.transaction(txn) for txn in self.transactions]),
+            "done": self.done.triggered,
+        }
+
+    # ------------------------------------------------------------------
     def _pattern_for(self, phase: IptgPhase) -> AddressPattern:
         if phase.address_pattern is not None:
             return phase.address_pattern

@@ -88,6 +88,15 @@ class TracePlayer(Component):
         self.done: Event = sim.event(name=f"{name}.done")
         self.process(self._play(), name="play")
 
+    def snapshot_state(self, encoder):
+        """Replay cursor (how many records became transactions) + digests."""
+        return {
+            "issued": len(self.transactions),
+            "transactions": encoder.digest(
+                [encoder.transaction(txn) for txn in self.transactions]),
+            "done": self.done.triggered,
+        }
+
     def _play(self):
         clk = self.clock
         for record in self.records:

@@ -1,0 +1,102 @@
+"""Unit tests for the CI performance gate (``benchmarks/ci_gate.py``).
+
+The gate script lives outside the package, so it is loaded by path; the
+tests cover only the pure comparison logic and the override/exit-code
+contract — the actual benchmark rerun is the smoke CI job's business.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_GATE_PATH = (Path(__file__).resolve().parent.parent
+              / "benchmarks" / "ci_gate.py")
+_spec = importlib.util.spec_from_file_location("ci_gate", _GATE_PATH)
+ci_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(ci_gate)
+
+
+def _row(events=1000, rate=100_000.0):
+    return {"events": events, "events_per_sec": rate,
+            "wall_s": events / rate, "sim_time_ps": 1}
+
+
+class TestCompare:
+    def test_within_threshold_passes(self):
+        failures, lines = ci_gate.compare(
+            {"a": _row(rate=100_000)}, {"a": _row(rate=90_000)}, 0.15)
+        assert failures == []
+        assert any("ok" in line for line in lines[1:])
+
+    def test_regression_beyond_threshold_fails(self):
+        failures, _ = ci_gate.compare(
+            {"a": _row(rate=100_000)}, {"a": _row(rate=80_000)}, 0.15)
+        assert len(failures) == 1
+        assert "below the baseline" in failures[0]
+
+    def test_speedup_is_reported_not_failed(self):
+        failures, lines = ci_gate.compare(
+            {"a": _row(rate=100_000)}, {"a": _row(rate=200_000)}, 0.15)
+        assert failures == []
+        assert any("fast" in line for line in lines[1:])
+
+    def test_changed_event_count_fails_regardless_of_speed(self):
+        failures, _ = ci_gate.compare(
+            {"a": _row(events=1000, rate=100_000)},
+            {"a": _row(events=1001, rate=100_000)}, 0.15)
+        assert len(failures) == 1
+        assert "event count changed" in failures[0]
+
+    def test_missing_scenario_fails(self):
+        failures, _ = ci_gate.compare(
+            {"a": _row(), "b": _row()}, {"a": _row()}, 0.15)
+        assert any("not rerun" in failure for failure in failures)
+
+    def test_new_scenario_is_listed(self):
+        _, lines = ci_gate.compare({"a": _row()},
+                                   {"a": _row(), "b": _row()}, 0.15)
+        assert any("(new)" in line for line in lines)
+
+
+class TestGateProcess:
+    """End-to-end exit codes with the benchmark rerun stubbed out."""
+
+    @pytest.fixture
+    def fast_bench(self, monkeypatch):
+        """Make run_benchmarks instant and deterministic for the gate."""
+        import repro.bench as bench
+
+        table = {"a": _row(rate=50_000)}
+        monkeypatch.setattr(bench, "run_benchmarks",
+                            lambda repeats=3: dict(table))
+        return table
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, fast_bench,
+                                             capsys):
+        code = ci_gate.main(["--baseline", str(tmp_path / "none.json")])
+        assert code == 2
+        assert "--update" in capsys.readouterr().err
+
+    def test_update_writes_baseline(self, tmp_path, fast_bench, capsys):
+        target = tmp_path / "base.json"
+        assert ci_gate.main(["--baseline", str(target), "--update"]) == 0
+        assert json.loads(target.read_text())["a"]["events"] == 1000
+
+    def test_regression_fails_then_override_reports_only(
+            self, tmp_path, fast_bench, monkeypatch, capsys):
+        target = tmp_path / "base.json"
+        target.write_text(json.dumps({"a": _row(rate=100_000)}))
+        monkeypatch.delenv("CI_ALLOW_PERF_REGRESSION", raising=False)
+        assert ci_gate.main(["--baseline", str(target)]) == 1
+        assert "perf-regression-ok" in capsys.readouterr().err
+        monkeypatch.setenv("CI_ALLOW_PERF_REGRESSION", "1")
+        assert ci_gate.main(["--baseline", str(target)]) == 0
+        assert "reporting only" in capsys.readouterr().err
+
+    def test_clean_run_passes(self, tmp_path, fast_bench, capsys):
+        target = tmp_path / "base.json"
+        target.write_text(json.dumps({"a": _row(rate=52_000)}))
+        assert ci_gate.main(["--baseline", str(target)]) == 0
+        assert "within threshold" in capsys.readouterr().out

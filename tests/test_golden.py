@@ -1,0 +1,93 @@
+"""The committed golden regression corpus (tests/golden/).
+
+Tier-1 keeps the cheap guarantees: the corpus is present, loadable,
+matches the manifest, and a sampled entry replays bit-identically.  The
+full-corpus replay is the dedicated CI golden job (marker ``golden``,
+see docs/CI.md) — it simulates every entry twice and is deliberately
+kept out of the edit-test loop.
+"""
+
+import json
+
+import pytest
+
+from repro.snapshot import (
+    SNAPSHOT_FORMAT,
+    golden_configs,
+    golden_dir,
+    golden_entries,
+    load_checkpoint,
+    resume_checkpoint,
+    verify_golden,
+)
+
+#: Tier-1 replays these (small, fast entries spanning two memory paths).
+_SAMPLED = ("quick_fixed_priority", "example_custom_platform")
+
+
+def test_corpus_is_committed():
+    entries = golden_entries()
+    assert entries, (
+        "tests/golden/ is empty — regenerate the corpus with "
+        "`repro snapshot --refresh-golden` and commit the files")
+
+
+def test_corpus_matches_manifest():
+    """Every manifest entry is committed and nothing stale lingers."""
+    committed = {path.name for path in golden_entries()}
+    expected = {f"{name}.ckpt.json" for name in golden_configs()}
+    assert committed == expected
+
+
+def test_every_entry_loads_and_is_current_format():
+    for path in golden_entries():
+        checkpoint = load_checkpoint(path)  # validates both digests
+        assert checkpoint.format == SNAPSHOT_FORMAT
+        assert checkpoint.expect is not None, (
+            f"{path.name}: golden entries must record the final result")
+
+
+def test_entries_are_reasonably_small():
+    """The corpus must stay reviewable: digests, not state dumps."""
+    for path in golden_entries():
+        assert path.stat().st_size < 256 * 1024, (
+            f"{path.name} is {path.stat().st_size} bytes; bulky state "
+            f"belongs behind encoder.digest(), not inline")
+
+
+@pytest.mark.parametrize("name", _SAMPLED)
+def test_sampled_entry_replays_bit_identically(name):
+    path = golden_dir() / f"{name}.ckpt.json"
+    assert path.is_file(), f"{name} missing from the corpus"
+    outcome = resume_checkpoint(load_checkpoint(path))
+    assert outcome.ok, "\n".join(outcome.mismatches)
+
+
+def test_summary_lists_every_entry():
+    from repro.snapshot import corpus_summary
+
+    summary = corpus_summary()
+    for path in golden_entries():
+        assert path.name in summary
+
+
+@pytest.mark.golden
+def test_full_corpus_replays_bit_identically():
+    failures = verify_golden()
+    assert not failures, "\n".join(failures)
+
+
+def test_verify_golden_reports_empty_corpus(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_GOLDEN_DIR", str(tmp_path))
+    failures = verify_golden()
+    assert len(failures) == 1
+    assert "refresh-golden" in failures[0]
+
+
+def test_verify_golden_flags_tampered_entry(tmp_path, monkeypatch):
+    source = golden_entries()[0]
+    document = json.loads(source.read_text())
+    document["at_ps"] += 1
+    (tmp_path / source.name).write_text(json.dumps(document))
+    failures = verify_golden(tmp_path)
+    assert failures and "corrupt" in failures[0]

@@ -12,12 +12,10 @@ import os
 import pytest
 
 import repro.sweep as sweep_mod
-from repro.analysis.metrics import RunResult
 from repro.platforms import quick_config
 from repro.platforms.loader import ConfigError
 from repro.sweep import (
     CACHE_SCHEMA,
-    CachedRun,
     SweepCache,
     SweepError,
     _pool_map,
@@ -330,6 +328,120 @@ class TestSweepSpec:
         with pytest.raises(ConfigError, match="point0"):
             parse_sweep({"base": dict(BASE_DOC),
                          "grid": {"protocol": ["pci"]}})
+
+
+class TestDefaultCacheDir:
+    """Resolution order and hermetic fallbacks of the cache location."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_env(self, monkeypatch):
+        for name in ("REPRO_SWEEP_CACHE", "XDG_CACHE_HOME", "CI"):
+            monkeypatch.delenv(name, raising=False)
+
+    def test_explicit_override_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "mine"))
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        monkeypatch.setenv("CI", "1")
+        assert sweep_mod.default_cache_dir() == tmp_path / "mine"
+
+    def test_xdg_cache_home(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert sweep_mod.default_cache_dir() == \
+            tmp_path / "xdg" / "repro" / "sweeps"
+
+    def test_ci_runners_get_a_temp_dir(self, monkeypatch):
+        import tempfile
+
+        monkeypatch.setenv("CI", "true")
+        expected = sweep_mod.Path(tempfile.gettempdir()) / "repro-sweeps"
+        assert sweep_mod.default_cache_dir() == expected
+
+    def test_unresolvable_home_falls_back_to_temp(self, monkeypatch):
+        import pathlib
+        import tempfile
+
+        def _no_home():
+            raise RuntimeError("no usable home directory")
+
+        monkeypatch.setattr(pathlib.Path, "home", staticmethod(_no_home))
+        expected = sweep_mod.Path(tempfile.gettempdir()) / "repro-sweeps"
+        assert sweep_mod.default_cache_dir() == expected
+
+    def test_home_is_the_interactive_default(self, monkeypatch, tmp_path):
+        import pathlib
+
+        monkeypatch.setattr(pathlib.Path, "home",
+                            staticmethod(lambda: tmp_path / "home"))
+        assert sweep_mod.default_cache_dir() == \
+            tmp_path / "home" / ".cache" / "repro" / "sweeps"
+
+
+class TestLazyCacheRoot:
+    def test_construction_never_touches_the_filesystem(self, monkeypatch):
+        """SweepCache() must not resolve (or create) anything until used."""
+
+        def _boom():
+            raise AssertionError("resolved the cache dir at construction")
+
+        monkeypatch.setattr(sweep_mod, "default_cache_dir", _boom)
+        cache = SweepCache()  # must not raise
+        with pytest.raises(AssertionError):
+            cache.root  # first real use resolves — and here, detonates
+
+    def test_explicit_root_bypasses_resolution(self, monkeypatch, tmp_path):
+        monkeypatch.setattr(sweep_mod, "default_cache_dir",
+                            lambda: (_ for _ in ()).throw(RuntimeError()))
+        cache = SweepCache(tmp_path / "cache")
+        assert cache.root == tmp_path / "cache"
+
+    def test_put_degrades_when_root_is_uncreatable(self, tmp_path, quick_run):
+        config, run = quick_run
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should go")
+        cache = SweepCache(blocker / "cache")  # mkdir will fail
+        key = config_key(config, QUICK_MAX_PS)
+        cache.put(key, run)  # must not raise
+        assert cache.get(key) is None
+
+
+class TestWarmSweep:
+    def test_cold_populates_then_warm_resumes_bit_identically(self, tmp_path):
+        from repro.sweep import warm_sweep
+
+        configs = [quick_config(traffic_scale=0.05),
+                   quick_config(traffic_scale=0.07)]
+        cold = warm_sweep(configs, tmp_path / "warm", max_ps=QUICK_MAX_PS)
+        assert [outcome.cached for outcome in cold] == [False, False]
+        warm = warm_sweep(configs, tmp_path / "warm", max_ps=QUICK_MAX_PS)
+        assert [outcome.cached for outcome in warm] == [True, True]
+        for before, after in zip(cold, warm):
+            assert after.result == before.result
+            assert (after.events, after.sim_time_ps) == \
+                (before.events, before.sim_time_ps)
+
+    def test_matches_plain_sweep(self, tmp_path):
+        from repro.sweep import warm_sweep
+
+        config = quick_config(traffic_scale=0.05)
+        plain = sweep([config], max_ps=QUICK_MAX_PS, jobs=1, cache=False)
+        warmed = warm_sweep([config], tmp_path / "warm",
+                            max_ps=QUICK_MAX_PS)
+        assert warmed[0].result == plain[0].result
+        assert (warmed[0].events, warmed[0].sim_time_ps) == \
+            (plain[0].events, plain[0].sim_time_ps)
+
+    def test_tampered_checkpoint_fails_the_sweep(self, tmp_path):
+        from repro.sweep import warm_sweep
+
+        config = quick_config(traffic_scale=0.05)
+        warm_sweep([config], tmp_path / "warm", max_ps=QUICK_MAX_PS)
+        key = config_key(config, QUICK_MAX_PS)
+        path = tmp_path / "warm" / f"{key}.ckpt.json"
+        document = json.loads(path.read_text())
+        document["at_ps"] += 1
+        path.write_text(json.dumps(document))
+        with pytest.raises(SweepError, match="warm-start"):
+            warm_sweep([config], tmp_path / "warm", max_ps=QUICK_MAX_PS)
 
 
 class TestLoadSweep:

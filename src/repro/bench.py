@@ -24,6 +24,13 @@ through :func:`run_benchmarks`.  Every scenario returns
 ``(processed_events, sim_time_ps)`` and must be deterministic: identical
 event counts across runs and across kernel refactors are the regression
 guard that a "faster" kernel still simulates the same platform.
+
+Scenarios accept the simulation ``resolution`` (``"ca"`` or ``"lt"``, see
+``docs/FAST_SIM.md``); each result entry records it under ``"mode"``.  The
+two modes schedule *different* event populations by design, so baselines
+are only comparable within the same mode — ``benchmarks/ci_gate.py`` pins
+the CA counts, ``benchmarks/lt_gate.py`` owns the LT accuracy/speedup
+contract.
 """
 
 from __future__ import annotations
@@ -34,18 +41,21 @@ from typing import Callable, Dict, Iterable, Optional, Tuple
 
 from .core import Fifo, Simulator
 
-#: A scenario callable: ``fn(scale) -> (processed_events, sim_time_ps)``.
-Scenario = Callable[[float], Tuple[int, int]]
+#: A scenario callable:
+#: ``fn(scale, resolution) -> (processed_events, sim_time_ps)``.
+Scenario = Callable[[float, str], Tuple[int, int]]
 
 
-def timeout_storm(scale: float = 1.0) -> Tuple[int, int]:
+def timeout_storm(scale: float = 1.0,
+                  resolution: str = "ca") -> Tuple[int, int]:
     """Raw event churn: four processes racing through bare timeouts.
 
     Measures the kernel's floor cost per event — Timeout construction, heap
-    traffic and process resumption, nothing else.
+    traffic and process resumption, nothing else.  (Timeouts are genuine
+    time advances, so the LT mode changes almost nothing here.)
     """
     rounds = max(1, int(2_000 * scale))
-    sim = Simulator()
+    sim = Simulator(resolution=resolution)
 
     def pinger():
         for _ in range(rounds):
@@ -57,14 +67,17 @@ def timeout_storm(scale: float = 1.0) -> Tuple[int, int]:
     return sim.processed_events, sim.now
 
 
-def fifo_pipeline(scale: float = 1.0) -> Tuple[int, int]:
+def fifo_pipeline(scale: float = 1.0,
+                  resolution: str = "ca") -> Tuple[int, int]:
     """Items flowing through a 4-stage bounded FIFO pipeline.
 
     Exercises the blocking put/get hand-off — the pattern every bus queue,
-    bridge FIFO and LMI input queue in the platform is built from.
+    bridge FIFO and LMI input queue in the platform is built from.  In LT
+    mode the hand-offs resolve through the inline trampoline, so this is
+    the scenario that shows the kernel-primitive half of the LT win.
     """
     items = max(1, int(1_000 * scale))
-    sim = Simulator()
+    sim = Simulator(resolution=resolution)
     stages = [Fifo(sim, 4, name=f"s{i}") for i in range(4)]
 
     def feeder():
@@ -88,14 +101,16 @@ def fifo_pipeline(scale: float = 1.0) -> Tuple[int, int]:
     return sim.processed_events, sim.now
 
 
-def clock_edges(scale: float = 1.0) -> Tuple[int, int]:
+def clock_edges(scale: float = 1.0,
+                resolution: str = "ca") -> Tuple[int, int]:
     """Multi-domain clock-edge waits: the pooled-timeout fast path.
 
     Three processes spinning on 400/250/166 MHz edges — the steady-state
-    shape of every cycle-accurate bus model in the platform.
+    shape of every cycle-accurate bus model in the platform.  Clock edges
+    are genuine time advances, so LT leaves this scenario unchanged.
     """
     edges = max(1, int(3_000 * scale))
-    sim = Simulator()
+    sim = Simulator(resolution=resolution)
     clocks = [sim.clock(freq_mhz=mhz, name=f"clk{mhz}")
               for mhz in (400, 250, 166)]
 
@@ -109,23 +124,27 @@ def clock_edges(scale: float = 1.0) -> Tuple[int, int]:
     return sim.processed_events, sim.now
 
 
-def platform_run(scale: float = 1.0) -> Tuple[int, int]:
+def platform_run(scale: float = 1.0,
+                 resolution: str = "ca") -> Tuple[int, int]:
     """A full reference-platform run (quick configuration).
 
     End-to-end cost with the bus/memory models in the loop: the closest
     proxy for what a design-space sweep iteration costs.  ``scale`` is
     ignored — the quick configuration is already the smallest deterministic
-    platform workload.
+    platform workload.  With ``resolution="lt"`` this is the headline
+    dual-resolution scenario: contention-free stretches are fast-forwarded
+    analytically (docs/FAST_SIM.md quotes its numbers).
     """
     from .platforms import build_platform, quick_config
 
     sim = Simulator()
-    platform = build_platform(sim, quick_config())
+    platform = build_platform(sim, quick_config(resolution=resolution))
     platform.run(max_ps=10**13)
     return sim.processed_events, sim.now
 
 
-def sweep_fanout(scale: float = 1.0) -> Tuple[int, int]:
+def sweep_fanout(scale: float = 1.0,
+                 resolution: str = "ca") -> Tuple[int, int]:
     """A small design-space sweep fanned out over two worker processes.
 
     Measures the sweep engine's end-to-end cost — config serialisation,
@@ -139,7 +158,8 @@ def sweep_fanout(scale: float = 1.0) -> Tuple[int, int]:
     from .sweep import sweep as run_sweep
 
     points = max(2, int(4 * scale))
-    configs = [quick_config(traffic_scale=0.05 + 0.02 * i)
+    configs = [quick_config(traffic_scale=0.05 + 0.02 * i,
+                            resolution=resolution)
                for i in range(points)]
     outcomes = run_sweep(configs, max_ps=10**13, jobs=2, cache=False)
     events = sum(outcome.events for outcome in outcomes)
@@ -157,14 +177,20 @@ SCENARIOS: Dict[str, Scenario] = {
 
 
 def run_benchmarks(names: Optional[Iterable[str]] = None, repeats: int = 3,
-                   scale: float = 1.0) -> Dict[str, Dict[str, float]]:
+                   scale: float = 1.0,
+                   resolution: str = "ca") -> Dict[str, Dict[str, float]]:
     """Time the named scenarios (default: all) and return the result table.
 
     Each scenario gets one untimed warm-up run, then ``repeats`` timed runs;
     the best wall-clock is reported (the noise floor of a busy machine only
-    ever slows a run down).  Raises ``KeyError`` on an unknown scenario
-    name.
+    ever slows a run down).  ``resolution`` selects the simulation mode the
+    scenarios run at and is recorded in every entry as ``"mode"``.  Raises
+    ``KeyError`` on an unknown scenario name, ``ValueError`` on an unknown
+    resolution.
     """
+    if resolution not in ("ca", "lt"):
+        raise ValueError(f"unknown resolution {resolution!r}; "
+                         f"expected 'ca' or 'lt'")
     selected = list(names) if names is not None else list(SCENARIOS)
     unknown = [name for name in selected if name not in SCENARIOS]
     if unknown:
@@ -173,11 +199,12 @@ def run_benchmarks(names: Optional[Iterable[str]] = None, repeats: int = 3,
     results: Dict[str, Dict[str, float]] = {}
     for name in selected:
         fn = SCENARIOS[name]
-        events, sim_time = fn(scale)  # warm-up (and the determinism sample)
+        # Warm-up (and the determinism sample).
+        events, sim_time = fn(scale, resolution)
         best = float("inf")
         for _ in range(max(1, repeats)):
             start = time.perf_counter()
-            run_events, run_sim_time = fn(scale)
+            run_events, run_sim_time = fn(scale, resolution)
             elapsed = time.perf_counter() - start
             if (run_events, run_sim_time) != (events, sim_time):
                 raise RuntimeError(
@@ -189,6 +216,7 @@ def run_benchmarks(names: Optional[Iterable[str]] = None, repeats: int = 3,
             "events": events,
             "events_per_sec": events / best if best > 0 else float("inf"),
             "sim_time_ps": sim_time,
+            "mode": resolution,
         }
     return results
 
@@ -202,9 +230,11 @@ def write_results(path: str, results: Dict[str, Dict[str, float]]) -> None:
 
 def format_results(results: Dict[str, Dict[str, float]]) -> str:
     """Human-readable rendering of a result table."""
-    lines = [f"{'scenario':<16}{'events':>10}{'wall_s':>12}"
+    lines = [f"{'scenario':<16}{'mode':<6}{'events':>10}{'wall_s':>12}"
              f"{'events/sec':>14}{'sim_time_ps':>16}"]
     for name, row in results.items():
-        lines.append(f"{name:<16}{row['events']:>10,.0f}{row['wall_s']:>12.4f}"
+        mode = row.get("mode", "ca")
+        lines.append(f"{name:<16}{mode:<6}{row['events']:>10,.0f}"
+                     f"{row['wall_s']:>12.4f}"
                      f"{row['events_per_sec']:>14,.0f}{row['sim_time_ps']:>16,.0f}")
     return "\n".join(lines)

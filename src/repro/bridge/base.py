@@ -61,6 +61,8 @@ class BridgeBase(Component):
         self.init_port: InitiatorPort = dest.connect_initiator(
             f"{name}.out", max_outstanding=child_outstanding)
         self.forwarded = sim.metrics.counter(f"{name}.forwarded")
+        #: Loosely-timed flag, captured once (select-once discipline).
+        self._lt = sim.lt_enabled
         checks = getattr(sim, "_checks", None)
         if checks is not None:
             checks.register_bridge(self)

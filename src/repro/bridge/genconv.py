@@ -84,8 +84,11 @@ class GenConvBridge(BridgeBase):
         credits (``child_outstanding``) or destination-side backpressure —
         never a read in flight.
         """
+        lt = self._lt
         while True:
-            txn: Transaction = yield self.target_port.get_request()
+            txn = self.target_port.request_fifo.try_get() if lt else None
+            if txn is None:
+                txn = yield self.target_port.get_request()
             self.forwarded.add()
             yield from self.cross(self.dest.clock)
             child = self.make_child(txn)
@@ -174,6 +177,8 @@ class GenConvBridge(BridgeBase):
                 and job.child.ev_done.triggered)
 
     def _relay_loop(self):
+        lt = self._lt
+        fifo = self.target_port.response_fifo
         while True:
             job = self._pick_job()
             if job is None:
@@ -184,20 +189,25 @@ class GenConvBridge(BridgeBase):
                 job.crossed = True
             if job.is_ack:
                 self._jobs.remove(job)
-                yield self.target_port.put_beat(
-                    ResponseBeat(job.txn, index=-1, is_last=True,
-                                 error=job.child.error))
+                ack = ResponseBeat(job.txn, index=-1, is_last=True,
+                                   error=job.child.error)
+                if not (lt and fifo.try_put(ack)):
+                    yield self.target_port.put_beat(ack)
                 continue
             if not job.buffer:
                 # Errored child with no data: synthesise the error response.
                 self._jobs.remove(job)
                 job.relay.error_seen = True
                 while not job.relay.done:
-                    yield self.target_port.put_beat(job.relay.emit())
+                    beat = job.relay.emit()
+                    if not (lt and fifo.try_put(beat)):
+                        yield self.target_port.put_beat(beat)
                 continue
             beat = job.buffer.popleft()
             fresh = job.relay.arrived(beat)
             for _ in range(fresh):
-                yield self.target_port.put_beat(job.relay.emit())
+                out = job.relay.emit()
+                if not (lt and fifo.try_put(out)):
+                    yield self.target_port.put_beat(out)
             if job.relay.done:
                 self._jobs.remove(job)

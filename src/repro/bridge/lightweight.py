@@ -48,8 +48,11 @@ class LightweightBridge(BridgeBase):
 
     def _pump(self):
         """Serve transactions one at a time — the blocking target side."""
+        lt = self._lt
         while True:
-            txn: Transaction = yield self.target_port.get_request()
+            txn = self.target_port.request_fifo.try_get() if lt else None
+            if txn is None:
+                txn = yield self.target_port.get_request()
             self.forwarded.add()
             # Forward crossing (asynchronous FIFO + resynchronisation).
             yield from self.cross(self.dest.clock)
@@ -74,8 +77,11 @@ class LightweightBridge(BridgeBase):
         yield from self.cross(self.source.clock)
         relay = self.make_relay(txn)
         relay.error_seen = child.error  # propagate far-side bus errors
+        fifo = self.target_port.response_fifo
         for _ in range(txn.beats):
-            yield self.target_port.put_beat(relay.emit())
+            beat = relay.emit()
+            if not (self._lt and fifo.try_put(beat)):
+                yield self.target_port.put_beat(beat)
 
     def _store_and_forward_write(self, txn: Transaction, child: Transaction):
         """Forward a fully-buffered write (store-and-forward).
@@ -94,8 +100,9 @@ class LightweightBridge(BridgeBase):
             if not child.ev_done.triggered:
                 yield child.ev_done
             yield from self.cross(self.source.clock)
-            yield self.target_port.put_beat(
-                ResponseBeat(txn, index=-1, is_last=True,
-                             error=child.error))
+            ack = ResponseBeat(txn, index=-1, is_last=True,
+                               error=child.error)
+            if not (self._lt and self.target_port.response_fifo.try_put(ack)):
+                yield self.target_port.put_beat(ack)
         elif not txn.ev_done.triggered:
             txn.complete(self.sim.now)

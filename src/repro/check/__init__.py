@@ -38,6 +38,7 @@ from typing import Iterator, List
 
 from ..core import kernel as _kernel
 from .differential import CheckedRun, DifferentialResult, random_config
+from .lt_accuracy import LtComparison, LtRun, within_bounds
 from .monitors import SimChecker
 from .sdram_audit import SdramCommandLog, audit_sdram
 from .violations import InvariantViolation, Violation, format_report
@@ -47,6 +48,8 @@ __all__ = [
     "CheckedRun",
     "DifferentialResult",
     "InvariantViolation",
+    "LtComparison",
+    "LtRun",
     "SdramCommandLog",
     "SimChecker",
     "Violation",
@@ -54,6 +57,7 @@ __all__ = [
     "checked",
     "format_report",
     "random_config",
+    "within_bounds",
 ]
 
 

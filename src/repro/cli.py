@@ -167,6 +167,8 @@ def cmd_platform(args) -> int:
     except ConfigError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.mode:
+        config = config.scaled(resolution=args.mode)
     session = _start_capture(args)
     # finally: a failing run must still uninstall the process-wide
     # capture hook and write the trace collected so far.
@@ -187,6 +189,7 @@ def cmd_platform(args) -> int:
     finally:
         _finish_capture(args, session)
     print(f"platform:        {config.label()}")
+    print(f"resolution:      {config.resolution}")
     print(f"execution time:  {result.execution_time_ps / 1_000_000:.3f} us")
     print(f"transactions:    {result.transactions}")
     print(f"bytes:           {result.bytes_transferred}")
@@ -480,7 +483,8 @@ def cmd_bench(args) -> int:
     names = args.scenario or None
     try:
         results = bench.run_benchmarks(names=names, repeats=args.repeats,
-                                       scale=args.bench_scale)
+                                       scale=args.bench_scale,
+                                       resolution=args.mode)
     except KeyError as exc:
         print(exc.args[0], file=sys.stderr)
         return 2
@@ -517,6 +521,10 @@ def build_parser() -> argparse.ArgumentParser:
     plat_parser.add_argument("config")
     plat_parser.add_argument("--max-us", type=float, default=20_000.0,
                              help="simulation bound in microseconds")
+    plat_parser.add_argument("--mode", choices=("ca", "lt"), default=None,
+                             help="simulation resolution: cycle-accurate or "
+                                  "loosely-timed fast-forward (overrides the "
+                                  "config's 'resolution'; see docs/FAST_SIM.md)")
     plat_parser.add_argument("--csv", help="write the result row to CSV")
     plat_parser.add_argument("--trace", metavar="PATH",
                              help="capture transaction lifecycles and write "
@@ -646,6 +654,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--bench-scale", type=float, default=1.0,
                               help="workload scale factor (default 1.0; "
                                    "smoke tiers use < 1)")
+    bench_parser.add_argument("--mode", choices=("ca", "lt"), default="ca",
+                              help="simulation resolution the scenarios run "
+                                   "at (default: ca; see docs/FAST_SIM.md)")
     bench_parser.add_argument("--output", default="BENCH_kernel.json",
                               help="result file (default BENCH_kernel.json)")
     bench_parser.set_defaults(func=cmd_bench)

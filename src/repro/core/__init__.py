@@ -14,6 +14,7 @@ from .events import (
     Interrupt,
     Process,
     Timeout,
+    completed_event,
     PRIORITY_LOW,
     PRIORITY_NORMAL,
     PRIORITY_URGENT,
@@ -37,6 +38,7 @@ __all__ = [
     "CdcFifo",
     "ChannelUtilization",
     "Clock",
+    "completed_event",
     "Component",
     "Counter",
     "Event",

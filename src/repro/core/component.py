@@ -44,10 +44,14 @@ class Component:
         return f"{self.parent.path}.{self.name}"
 
     def process(self, generator: Generator[Event, Any, Any],
-                name: str = "") -> Process:
-        """Register a process owned by this component."""
+                name: str = "", immediate: bool = False) -> Process:
+        """Register a process owned by this component.
+
+        ``immediate`` is the LT-only mid-run spawn hint of
+        :meth:`~repro.core.kernel.Simulator.process`.
+        """
         label = f"{self.path}.{name}" if name else self.path
-        proc = self.sim.process(generator, name=label)
+        proc = self.sim.process(generator, name=label, immediate=immediate)
         self.processes.append(proc)
         return proc
 

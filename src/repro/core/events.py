@@ -107,6 +107,30 @@ class Event:
         heappush(sim._queue, (sim._now, priority, sequence, self))
         return self
 
+    def succeed_inline(self, value: Any = None) -> "Event":
+        """Trigger the event *and run its callbacks* at the current time,
+        without touching the event queue.
+
+        The loosely-timed mode's same-timestamp handoff: work notifications,
+        credit grants, FIFO waiter service and transaction completions that
+        would each cost one scheduled event in CA resolve as plain function
+        calls.  Callbacks drain through the simulator's inline trampoline in
+        FIFO order, so arbitrarily long handoff chains execute iteratively —
+        a callback that inline-succeeds further events only appends to the
+        queue of the already-running drain.
+
+        State is decided eagerly: ``triggered`` is True on return even when
+        an outer drain still owns the callback execution.  Never called on
+        cycle-accurate paths, where the queue round-trip *is* the modelled
+        delta-cycle ordering.
+        """
+        if self._value is not _PENDING:
+            raise EventError(f"event {self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._dispatch_inline(self)
+        return self
+
     def fail(self, exception: BaseException, priority: int = PRIORITY_NORMAL) -> "Event":
         """Trigger the event as failed; waiters get ``exception`` thrown."""
         if self.triggered:
@@ -144,6 +168,26 @@ class Event:
             "triggered" if self.triggered else "pending")
         label = f" {self.name!r}" if self.name else ""
         return f"<{type(self).__name__}{label} {state}>"
+
+
+def completed_event(sim: "Simulator", value: Any = None,
+                    name: str = "") -> Event:
+    """An :class:`Event` born in the *processed* state, carrying ``value``.
+
+    Yielding one resumes the process **synchronously** — :class:`Process`
+    treats a processed event (``callbacks is None``) as already happened
+    and continues the generator inline, without a trip through the event
+    queue.  This is the loosely-timed mode's zero-cost completion: an
+    operation that succeeded immediately (a FIFO slot was free, a credit
+    was available) hands back a completed event instead of scheduling a
+    same-timestamp wakeup.  Never used on cycle-accurate paths, where the
+    queue round-trip *is* the modelled arbitration point.
+    """
+    event = Event(sim, name=name)
+    event._value = value
+    event._processed = True
+    event.callbacks = None
+    return event
 
 
 class Timeout(Event):
@@ -200,7 +244,7 @@ class Process(Event):
     __slots__ = ("generator", "_send", "_throw", "_target", "_resume_cb")
 
     def __init__(self, sim: "Simulator", generator: Generator[Event, Any, Any],
-                 name: str = "") -> None:
+                 name: str = "", immediate: bool = False) -> None:
         if not hasattr(generator, "send"):
             raise TypeError(f"process body must be a generator, got {generator!r}")
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
@@ -211,6 +255,14 @@ class Process(Event):
         #: The event this process currently waits on (None when running/finished).
         self._target: Optional[Event] = None
         self._resume_cb = self._resume
+        if immediate:
+            # LT-only (per-transaction workers spawned mid-run): prime the
+            # generator synchronously via the inline trampoline instead of
+            # paying a scheduled init event.
+            bootstrap = Event(sim, name=f"{self.name}.init")
+            bootstrap.callbacks.append(self._resume_cb)
+            bootstrap.succeed_inline()
+            return
         # Kick-start on the next kernel step at the current time.
         bootstrap = Event(sim, name=f"{self.name}.init")
         bootstrap._ok = True
@@ -249,7 +301,11 @@ class Process(Event):
         except StopIteration as stop:
             self._ok = True
             self._value = stop.value
-            self.sim._enqueue(self, 0, PRIORITY_NORMAL)
+            sim = self.sim
+            if sim.lt_enabled:
+                sim._dispatch_inline(self)
+            else:
+                sim._enqueue(self, 0, PRIORITY_NORMAL)
             return
         except BaseException as exc:  # noqa: BLE001 - propagate as failure
             self._ok = False

@@ -27,7 +27,7 @@ from collections import deque
 from heapq import heappush
 from typing import Any, Callable, Deque, Generic, List, Optional, Tuple, TypeVar
 
-from .events import Event, PRIORITY_NORMAL
+from .events import Event, PRIORITY_NORMAL, completed_event
 from .kernel import Simulator
 
 T = TypeVar("T")
@@ -65,6 +65,8 @@ class Fifo(Generic[T]):
         #: Highest occupancy ever reached (even transiently within one
         #: timestamp, which the time-weighted histogram cannot see).
         self.high_water = 0
+        #: Loosely-timed flag, captured once (select-once discipline).
+        self._lt = sim.lt_enabled
         #: Invariant checker, captured once at construction (select-once
         #: discipline; ``None`` outside a ``repro.check.checked()`` session).
         self._checks = getattr(sim, "_checks", None)
@@ -112,28 +114,36 @@ class Fifo(Generic[T]):
     def put(self, item: T) -> Event:
         """Event completing once ``item`` is stored."""
         sim = self.sim
-        event = Event(sim, name=self._put_name)
         if len(self._items) < self.capacity and not self._put_waiters:
+            if self._lt:
+                # LT: immediate acceptance costs no scheduled event.
+                self._store(item)
+                return completed_event(sim, name=self._put_name)
+            event = Event(sim, name=self._put_name)
             self._store(item)
             # Inlined event.succeed(): the event is fresh, so the
             # double-trigger guard cannot fire; mirror kernel._enqueue.
             event._value = None
             sim._sequence = sequence = sim._sequence + 1
             heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sequence, event))
-        else:
-            self._put_waiters.append((event, item))
+            return event
+        event = Event(sim, name=self._put_name)
+        self._put_waiters.append((event, item))
         return event
 
     def get(self) -> Event:
         """Event completing with the next item."""
         sim = self.sim
-        event = Event(sim, name=self._get_name)
         if self._items:
+            if self._lt:
+                return completed_event(sim, self._take(), name=self._get_name)
+            event = Event(sim, name=self._get_name)
             event._value = self._take()
             sim._sequence = sequence = sim._sequence + 1
             heappush(sim._queue, (sim._now, PRIORITY_NORMAL, sequence, event))
-        else:
-            self._get_waiters.append(event)
+            return event
+        event = Event(sim, name=self._get_name)
+        self._get_waiters.append(event)
         return event
 
     # ------------------------------------------------------------------
@@ -252,6 +262,13 @@ class Fifo(Generic[T]):
 
     def _serve_waiting_gets(self) -> None:
         sim = self.sim
+        if self._lt:
+            # LT: hand items to waiters synchronously (trampolined).  The
+            # _take() is eager, so the loop condition re-checks consistent
+            # state even when the resumed consumer touches this FIFO again.
+            while self._get_waiters and self._items:
+                self._get_waiters.popleft().succeed_inline(self._take())
+            return
         while self._get_waiters and self._items:
             waiter = self._get_waiters.popleft()
             # Inlined waiter.succeed(...): waiters are fresh pending events.
@@ -261,6 +278,12 @@ class Fifo(Generic[T]):
 
     def _admit_waiting_puts(self) -> None:
         sim = self.sim
+        if self._lt:
+            while self._put_waiters and not self.is_full:
+                event, item = self._put_waiters.popleft()
+                self._store(item)
+                event.succeed_inline()
+            return
         while self._put_waiters and not self.is_full:
             event, item = self._put_waiters.popleft()
             self._store(item)
@@ -304,12 +327,15 @@ class CdcFifo(Fifo[T]):
         self._in_flight: Deque[Tuple[int, T]] = deque()
 
     def put(self, item: T) -> Event:
-        event = Event(self.sim, name=f"{self.name}.put")
         if self._total_level() < self.capacity and not self._put_waiters:
             self._launch(item)
+            if self._lt:
+                return completed_event(self.sim, name=f"{self.name}.put")
+            event = Event(self.sim, name=f"{self.name}.put")
             event.succeed()
-        else:
-            self._put_waiters.append((event, item))
+            return event
+        event = Event(self.sim, name=f"{self.name}.put")
+        self._put_waiters.append((event, item))
         return event
 
     def try_put(self, item: T) -> bool:
@@ -346,4 +372,7 @@ class CdcFifo(Fifo[T]):
         while self._put_waiters and self._total_level() < self.capacity:
             event, item = self._put_waiters.popleft()
             self._launch(item)
-            event.succeed()
+            if self._lt:
+                event.succeed_inline()
+            else:
+                event.succeed()

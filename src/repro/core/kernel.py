@@ -39,6 +39,7 @@ loops, so a run with tracing disabled executes exactly the PR 1 fast path.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from functools import partial
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING, Any, Generator, Iterable, List, Optional, Tuple
@@ -90,9 +91,19 @@ class Simulator:
         processed event — handy when debugging models, far too verbose for
         real runs.  (With a trace installed the kernel takes its traced
         loop body; never install one for performance measurements.)
+    resolution:
+        ``"ca"`` (cycle accurate, the default) or ``"lt"`` (loosely
+        timed).  The kernel itself runs the same event loop either way;
+        the flag is the *announcement* components read once at
+        construction (select-once discipline, like :attr:`_spans`) to
+        decide whether their contention-free regimes may be fast-forwarded
+        analytically.  See ``docs/FAST_SIM.md`` for the accuracy contract.
     """
 
-    def __init__(self, trace=None) -> None:
+    def __init__(self, trace=None, resolution: str = "ca") -> None:
+        if resolution not in ("ca", "lt"):
+            raise ValueError(f"unknown resolution {resolution!r}; "
+                             f"expected 'ca' or 'lt'")
         self._now = 0
         self._queue: List[Tuple[int, int, int, Event]] = []
         #: Monotonic scheduling sequence.  A plain integer field: the hot
@@ -120,6 +131,22 @@ class Simulator:
         #: component construction, guarded per transaction hop, never
         #: consulted inside the event loops.
         self._checks = None
+        #: Resolution announcement (see the constructor docstring).  Both
+        #: fields are read once per component at construction time and
+        #: never inside the event loops.
+        self._resolution = resolution
+        self.lt_enabled = resolution == "lt"
+        #: Inline-trigger trampoline (LT mode only, see
+        #: :meth:`~repro.core.events.Event.succeed_inline`): events whose
+        #: callbacks run synchronously at the current time queue here so
+        #: chained handoffs drain iteratively instead of recursing.
+        self._inline_queue: deque = deque()
+        self._inline_active = False
+        #: Analytic fast-forwards taken so far (LT mode only): every time a
+        #: component computed a contention-free stretch in closed form and
+        #: advanced time in one step, it bumps this via
+        #: :meth:`note_fastforward`.  Stays 0 in CA mode by construction.
+        self._lt_fastforwards = 0
         if _new_sim_hooks:
             for hook in tuple(_new_sim_hooks):
                 hook(self)
@@ -141,6 +168,47 @@ class Simulator:
     def processed_events(self) -> int:
         """Total number of events processed so far (a determinism probe)."""
         return self._processed_events
+
+    # ------------------------------------------------------------------
+    # resolution (cycle-accurate vs loosely-timed)
+    # ------------------------------------------------------------------
+    @property
+    def resolution(self) -> str:
+        """Active resolution mode: ``"ca"`` or ``"lt"``."""
+        return self._resolution
+
+    @property
+    def lt_fastforwards(self) -> int:
+        """Analytic fast-forwards taken (always 0 in CA mode)."""
+        return self._lt_fastforwards
+
+    def note_fastforward(self, count: int = 1) -> None:
+        """Record that a component fast-forwarded a contention-free stretch.
+
+        Called only on LT code paths — never on the CA hot path — so CA
+        runs pay nothing for the bookkeeping.
+        """
+        self._lt_fastforwards += count
+
+    def set_resolution(self, resolution: str) -> None:
+        """Switch resolution before any model activity.
+
+        Components capture the flag at construction and the two modes
+        schedule different event populations, so flipping it mid-run would
+        silently mix timelines.  Only a pristine simulator (no events
+        processed, nothing scheduled) may be switched.
+        """
+        if resolution not in ("ca", "lt"):
+            raise ValueError(f"unknown resolution {resolution!r}; "
+                             f"expected 'ca' or 'lt'")
+        if resolution == self._resolution:
+            return
+        if self._processed_events or self._queue:
+            raise SimulationError(
+                "set_resolution() requires a pristine simulator: components "
+                "capture the resolution at construction time")
+        self._resolution = resolution
+        self.lt_enabled = resolution == "lt"
 
     @property
     def metrics(self) -> "MetricRegistry":
@@ -208,9 +276,18 @@ class Simulator:
                               name=name)
 
     def process(self, generator: Generator[Event, Any, Any],
-                name: str = "") -> Process:
-        """Register ``generator`` as a process starting at the current time."""
-        return Process(self, generator, name=name)
+                name: str = "", immediate: bool = False) -> Process:
+        """Register ``generator`` as a process starting at the current time.
+
+        ``immediate`` is an LT-only hint for processes spawned *mid-run*
+        (per-transaction workers): the generator is primed synchronously
+        through the inline trampoline instead of via a scheduled init
+        event.  Ignored in CA mode, and must not be used for processes
+        spawned during elaboration (the body would run before the rest of
+        the component finished constructing).
+        """
+        return Process(self, generator, name=name,
+                       immediate=immediate and self.lt_enabled)
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event triggering when every event in ``events`` has triggered."""
@@ -247,6 +324,24 @@ class Simulator:
         self._sequence = sequence = self._sequence + 1
         heapq.heappush(
             self._queue, (self._now + delay, priority, sequence, event))
+
+    def _dispatch_inline(self, event: Event) -> None:
+        """Run a *triggered* event's callbacks through the inline trampoline.
+
+        LT-only (see :meth:`Event.succeed_inline`): the event bypasses the
+        heap entirely.  Re-entrant calls — a callback dispatching further
+        inline events — append to the already-draining queue, so handoff
+        chains of any length execute iteratively in FIFO order.
+        """
+        pending = self._inline_queue
+        pending.append(event)
+        if not self._inline_active:
+            self._inline_active = True
+            try:
+                while pending:
+                    pending.popleft()._run_callbacks()
+            finally:
+                self._inline_active = False
 
     def peek(self) -> Optional[int]:
         """Time of the next queued event, or None when the queue is empty."""

@@ -11,7 +11,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Deque
 
-from .events import Event
+from .events import Event, completed_event
 from .kernel import Simulator
 
 
@@ -35,6 +35,8 @@ class Semaphore:
         self._tokens = tokens
         self._capacity = tokens
         self._waiters: Deque[Event] = deque()
+        #: Loosely-timed flag, captured once (select-once discipline).
+        self._lt = sim.lt_enabled
 
     @property
     def available(self) -> int:
@@ -48,12 +50,16 @@ class Semaphore:
 
     def acquire(self) -> Event:
         """Event completing once a token has been granted."""
-        event = Event(self.sim, name=f"{self.name}.acquire")
         if self._tokens > 0 and not self._waiters:
             self._tokens -= 1
+            if self._lt:
+                # LT: the grant is immediate — no queue round-trip.
+                return completed_event(self.sim, name=f"{self.name}.acquire")
+            event = Event(self.sim, name=f"{self.name}.acquire")
             event.succeed()
-        else:
-            self._waiters.append(event)
+            return event
+        event = Event(self.sim, name=f"{self.name}.acquire")
+        self._waiters.append(event)
         return event
 
     def try_acquire(self) -> bool:
@@ -66,7 +72,11 @@ class Semaphore:
     def release(self) -> None:
         """Return a token, handing it straight to the oldest waiter if any."""
         if self._waiters:
-            self._waiters.popleft().succeed()
+            waiter = self._waiters.popleft()
+            if self._lt:
+                waiter.succeed_inline()
+            else:
+                waiter.succeed()
         else:
             if self.bounded and self._tokens >= self._capacity:
                 raise RuntimeError(
@@ -93,15 +103,32 @@ class WorkSignal:
         self.name = name
         self._event = Event(sim, name=name)
         self._dirty = False
+        #: Loosely-timed flag, captured once (select-once discipline).
+        self._lt = sim.lt_enabled
 
     def notify(self) -> None:
         """Signal that work may be available."""
         self._dirty = True
-        if not self._event.triggered:
-            self._event.succeed()
+        event = self._event
+        if not event.triggered:
+            if self._lt:
+                # LT: hand the wakeup over synchronously (trampolined) —
+                # the consumer resumes within the notifier's frame at the
+                # same timestamp, costing zero scheduled events.
+                event.succeed_inline()
+            else:
+                event.succeed()
 
     def wait(self) -> Event:
         """Event that fires when work may be available (possibly now)."""
+        if self._lt:
+            if self._event._processed:
+                self._event = Event(self.sim, name=self.name)
+            if self._dirty:
+                self._dirty = False
+                # A missed notify: resume the consumer synchronously.
+                return completed_event(self.sim, name=self.name)
+            return self._event
         if self._event.processed:
             self._event = Event(self.sim, name=self.name)
             if self._dirty:

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.clock import Clock
 from ..core.component import Component
-from ..core.events import Event
+from ..core.events import Event, completed_event
 from ..core.fifo import Fifo
 from ..core.kernel import Simulator
 from ..core.statistics import ChannelUtilization
@@ -63,6 +63,8 @@ class InitiatorPort:
         self.latency = metrics.histogram(f"{prefix}.latency")
         #: Invariant checker, captured once (select-once discipline).
         self._checks = fabric._checks
+        #: Loosely-timed flag, captured once (same discipline).
+        self._lt = fabric._lt
 
     # ------------------------------------------------------------------
     def issue(self, txn: Transaction) -> Event:
@@ -79,9 +81,23 @@ class InitiatorPort:
         txn.t_issued = self.sim.now
         if self._checks is not None:
             self._checks.note_issue(self, txn)
+        if self._lt and not self.pending._put_waiters \
+                and len(self.pending._items) < self.pending.capacity \
+                and self.credits.try_acquire():
+            # LT fast path: credit and queue slot are both free *right
+            # now*, so acceptance is immediate — same state transitions as
+            # _issue_flow, collapsed into zero scheduled events.  The
+            # acceptance instant is identical to CA; only the intra-
+            # timestamp interleaving differs (see docs/FAST_SIM.md).
+            txn.ev_done.add_callback(self._on_done)
+            self.pending.try_put(txn)
+            self.issued.add()
+            self.fabric._notify_request()
+            return completed_event(self.sim, txn, name=f"{self.name}.issue")
         accepted = Event(self.sim, name=f"{self.name}.issue")
         self.sim.process(self._issue_flow(txn, accepted),
-                         name=f"{self.name}.issue{txn.tid}")
+                         name=f"{self.name}.issue{txn.tid}",
+                         immediate=True)
         return accepted
 
     def _issue_flow(self, txn: Transaction, accepted: Event):
@@ -90,7 +106,10 @@ class InitiatorPort:
         yield self.pending.put(txn)
         self.issued.add()
         self.fabric._notify_request()
-        accepted.succeed(txn)
+        if self._lt:
+            accepted.succeed_inline(txn)
+        else:
+            accepted.succeed(txn)
 
     def _on_done(self, event: Event) -> None:
         txn: Transaction = event.value
@@ -189,6 +208,11 @@ class Fabric(Component):
         self.targets: List[TargetPort] = []
         self._request_work = WorkSignal(sim, name=f"{name}.req_work")
         self._response_work = WorkSignal(sim, name=f"{name}.resp_work")
+        #: Loosely-timed mode, captured once at construction (select-once
+        #: discipline).  When set, channel processes replace per-cycle
+        #: stall polling with event-driven waits and batch contention-free
+        #: beat runs analytically (docs/FAST_SIM.md).
+        self._lt = sim.lt_enabled
         #: Invariant checker (``None`` outside a checked session); captured
         #: once so the per-hop guards below stay a single attribute test.
         self._checks = sim._checks
@@ -219,7 +243,18 @@ class Fabric(Component):
                           request_depth=request_depth,
                           response_depth=response_depth)
         self.targets.append(port)
+        if self._lt:
+            # LT replaces the request channel's per-cycle "target full"
+            # poll with an event-driven wait, so a draining target FIFO
+            # must wake it (in CA the poll observes the drain by itself).
+            port.request_fifo.watch(self._on_target_request_level)
         return port
+
+    def _on_target_request_level(self, _time: int, old: int, new: int) -> None:
+        """LT-only: a target request FIFO drained — grants may now be
+        possible for initiators that were blocked on that target."""
+        if new < old:
+            self._request_work.notify()
 
     #: What to do with an address no target decodes: "raise" is a wiring
     #: error (strict default); "respond" returns a bus error to the

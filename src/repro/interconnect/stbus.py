@@ -71,7 +71,10 @@ class StbusNode(Fabric):
         #: non-zero value flags pathological message shaping on this node.
         self.lock_breaks = sim.metrics.counter(f"{name}.lock_breaks")
         self.process(self._request_process(), name="req")
-        self.process(self._response_process(), name="resp")
+        # The loosely-timed response channel is a separate generator so
+        # the cycle-accurate body stays byte-identical to the CA-only code.
+        self.process(self._response_process_lt() if self._lt
+                     else self._response_process(), name="resp")
 
     # ------------------------------------------------------------------
     # feature gates
@@ -118,14 +121,25 @@ class StbusNode(Fabric):
 
     def _request_process(self):
         clk = self.clock
+        lt = self._lt
         stalled_rounds = 0
         while True:
             candidates = self._eligible_requests()
             if not candidates:
                 if any(p.pending._items for p in self.initiators):
-                    # Requests exist but every decoded target is full: the
-                    # request/grant handshake stalls for a cycle.
-                    yield clk.edge()
+                    if lt:
+                        # LT: requests exist but every decoded target is
+                        # full.  Instead of polling every cycle, sleep
+                        # until a target FIFO drains (the Fabric base
+                        # watches target levels in LT mode) and re-enter
+                        # arbitration at the next grant edge.
+                        yield self._wait_request_work()
+                        if not clk.at_edge():
+                            yield clk.edge()
+                    else:
+                        # Requests exist but every decoded target is full:
+                        # the request/grant handshake stalls for a cycle.
+                        yield clk.edge()
                 else:
                     yield self._wait_request_work()
                 continue
@@ -162,7 +176,12 @@ class StbusNode(Fabric):
         self.req_channel.add_busy(clk.to_ps(cycles))
         is_posted = txn.is_write and txn.posted and self.posted_writes
         txn.meta["needs_ack"] = txn.is_write and not is_posted
-        yield target.request_fifo.put(txn)
+        if not (self._lt and target.request_fifo.try_put(txn)):
+            # CA always takes the queued put (the same-timestamp round
+            # trip is the modelled handshake); LT falls back to it only
+            # when the FIFO is actually full (Type 1, no eligibility
+            # guarantee).
+            yield target.request_fifo.put(txn)
         target.notify_request_state("idle")
         target.accepted.add()
         txn.mark_accepted(self.sim.now)
@@ -200,6 +219,58 @@ class StbusNode(Fabric):
             self.resp_channel.add_busy(clk.to_ps(cycles))
             self.deliver_beat(item)
             current = None if item.is_last else (target, item.txn)
+
+    def _response_process_lt(self):
+        """Loosely-timed response channel (see docs/FAST_SIM.md).
+
+        Two departures from the cycle-accurate body:
+
+        * the packet-atomicity wait (T1/T2: next beat of the in-flight
+          packet not buffered yet) sleeps on the response work signal and
+          realigns to the next bus edge, instead of polling every cycle;
+        * a run of consecutive buffered beats of the same packet is
+          transferred in one closed-form step — CA would stream exactly
+          those beats back to back anyway (the in-flight packet always
+          wins :meth:`_pick_beat`), so the run's start, duration and
+          last-beat instant are identical; only the intermediate beats'
+          delivery is deferred to the end of the run.  The first-data
+          timestamp is back-annotated analytically.
+        """
+        clk = self.clock
+        sim = self.sim
+        current: Optional[Tuple[TargetPort, Transaction]] = None
+        while True:
+            beat = self._pick_beat(current)
+            if beat is None:
+                yield self._wait_response_work()
+                if current is not None and not clk.at_edge():
+                    yield clk.edge()
+                continue
+            target, item = beat
+            fifo = target.response_fifo
+            items = fifo._items
+            run = 1
+            if not item.is_last:
+                txn = item.txn
+                while run < len(items) and items[run].txn is txn \
+                        and not items[run - 1].is_last:
+                    run += 1
+            beats = [fifo.try_get() for _ in range(run)]
+            cycles = self.bus_cycles_for_beat(item.txn.beat_bytes)
+            yield clk.edges(cycles * run)
+            self.resp_channel.add_busy(clk.to_ps(cycles * run))
+            if run > 1:
+                sim.note_fastforward(run - 1)
+                first = beats[0]
+                if first.txn.t_first_data is None and not first.is_write_ack:
+                    # CA delivers the run's first beat `cycles` edges in;
+                    # the batch ends (run-1)*cycles later.
+                    first.txn.t_first_data = \
+                        sim.now - clk.to_ps(cycles * (run - 1))
+            for delivered in beats:
+                self.deliver_beat(delivered)
+            last = beats[-1]
+            current = None if last.is_last else (target, last.txn)
 
     def _pick_beat(self, current):
         """Choose the next response beat to forward.

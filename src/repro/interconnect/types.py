@@ -169,14 +169,22 @@ class Transaction:
         """Record acceptance by the fabric/target and release the issuer."""
         if self.t_accepted is None:
             self.t_accepted = time_ps
-        if self.ev_accepted is not None and not self.ev_accepted.triggered:
-            self.ev_accepted.succeed(self)
+        event = self.ev_accepted
+        if event is not None and not event.triggered:
+            if event.sim.lt_enabled:
+                event.succeed_inline(self)
+            else:
+                event.succeed(self)
 
     def complete(self, time_ps: int) -> None:
         """Record completion and wake whoever waits on ``ev_done``."""
         self.t_done = time_ps
-        if self.ev_done is not None and not self.ev_done.triggered:
-            self.ev_done.succeed(self)
+        event = self.ev_done
+        if event is not None and not event.triggered:
+            if event.sim.lt_enabled:
+                event.succeed_inline(self)
+            else:
+                event.succeed(self)
 
     def complete_with_error(self, time_ps: int) -> None:
         """Complete the transaction as failed (bus error response)."""

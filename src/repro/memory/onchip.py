@@ -66,6 +66,8 @@ class OnChipMemory(Component):
         self._order = 0
         self._next_to_stream = 0
         self._turn_events = {}
+        #: Loosely-timed flag, captured once (select-once discipline).
+        self._lt = sim.lt_enabled
         self.process(self._dispatch(), name="dispatch")
 
     # ------------------------------------------------------------------
@@ -92,12 +94,21 @@ class OnChipMemory(Component):
 
     def _dispatch(self):
         """Pull requests and launch (possibly overlapping) accesses."""
+        lt = self._lt
         while True:
-            yield self._slots.acquire()
-            txn: Transaction = yield self.port.get_request()
+            # LT: both resources free right now — skip the two queued
+            # same-timestamp events the blocking pattern would cost.
+            if lt and self._slots.try_acquire():
+                txn = self.port.request_fifo.try_get()
+                if txn is None:
+                    txn = yield self.port.get_request()
+            else:
+                yield self._slots.acquire()
+                txn = yield self.port.get_request()
             ticket = self._order
             self._order += 1
-            self.process(self._access(txn, ticket), name=f"acc{txn.tid}")
+            self.process(self._access(txn, ticket), name=f"acc{txn.tid}",
+                         immediate=True)
 
     def _access(self, txn: Transaction, ticket: int):
         clk = self.clock
@@ -110,7 +121,8 @@ class OnChipMemory(Component):
                 waiter = self.sim.event(name=f"{self.name}.turn{ticket}")
                 self._turn_events[ticket] = waiter
             yield waiter
-        yield self._data_port.acquire()
+        if not (self._lt and self._data_port.try_acquire()):
+            yield self._data_port.acquire()
         try:
             if txn.is_read:
                 self.reads.add()
@@ -131,6 +143,9 @@ class OnChipMemory(Component):
         total_cycles = self._service_cycles(txn.total_bytes)
         base = total_cycles // txn.beats
         remainder = total_cycles - base * txn.beats
+        if self._lt:
+            yield from self._stream_read_lt(txn, clk, base, remainder)
+            return
         for index in range(txn.beats):
             cycles = base + (remainder if index == 0 else 0)
             if cycles > 0:
@@ -140,12 +155,48 @@ class OnChipMemory(Component):
             # A full response FIFO back-pressures the array naturally.
             yield self.port.put_beat(beat)
 
+    def _stream_read_lt(self, txn: Transaction, clk: Clock,
+                        base: int, remainder: int):
+        """LT read streaming: as many beats as the response FIFO can absorb
+        right now advance in one analytic step; a full FIFO (contention)
+        falls back to the per-beat cycle-accurate shape.  The cumulative
+        array time of the burst is identical to CA — only the instants at
+        which *intermediate* beats surface move (docs/FAST_SIM.md)."""
+        fifo = self.port.response_fifo
+        index = 0
+        while index < txn.beats:
+            free = 0 if fifo._put_waiters else fifo.capacity - len(fifo._items)
+            k = min(free, txn.beats - index)
+            if k == 0:
+                # Back-pressure: cycle-accurate shape for this beat.
+                cycles = base + (remainder if index == 0 else 0)
+                if cycles > 0:
+                    yield clk.edges(cycles)
+                self.beats_served.add()
+                yield self.port.put_beat(ResponseBeat(
+                    txn, index=index, is_last=index == txn.beats - 1))
+                index += 1
+                continue
+            cycles = base * k + (remainder if index == 0 else 0)
+            if cycles > 0:
+                yield clk.edges(cycles)
+            self.beats_served.add(k)
+            for offset in range(k):
+                i = index + offset
+                fifo.try_put(ResponseBeat(txn, index=i,
+                                          is_last=i == txn.beats - 1))
+            if k > 1:
+                self.sim.note_fastforward(k - 1)
+            index += k
+
     def _commit_write(self, txn: Transaction, clk: Clock):
         """Commit the already-transferred data, then acknowledge if needed."""
         yield clk.edges(self._service_cycles(txn.total_bytes))
         self.beats_served.add(txn.beats)
         if txn.meta.get("needs_ack", not txn.posted):
-            yield self.port.put_beat(ResponseBeat(txn, index=-1, is_last=True))
+            ack = ResponseBeat(txn, index=-1, is_last=True)
+            if not (self._lt and self.port.response_fifo.try_put(ack)):
+                yield self.port.put_beat(ack)
         elif not txn.ev_done.triggered:
             # Posted write on a fabric that did not already complete it.
             txn.complete(self.sim.now)

@@ -154,6 +154,13 @@ class PlatformConfig:
     #: for fast design-space exploration — the paper's multi-abstraction
     #: flow.
     abstraction: str = "cycle"  # "cycle" | "tlm"
+    #: Simulation resolution: "ca" simulates every arbitration cycle; "lt"
+    #: (loosely timed) fast-forwards provably contention-free stretches
+    #: analytically and falls back to the cycle-accurate engine under
+    #: contention.  Orthogonal to ``abstraction`` — it changes how the
+    #: cycle-accurate models *execute*, not what they model.  See
+    #: docs/FAST_SIM.md for the speed/accuracy contract.
+    resolution: str = "ca"  # "ca" | "lt"
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     cpu: CpuConfig = field(default_factory=CpuConfig)
     clusters: Tuple[ClusterSpec, ...] = ()
@@ -195,6 +202,8 @@ class PlatformConfig:
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.abstraction not in ("cycle", "tlm"):
             raise ValueError(f"unknown abstraction {self.abstraction!r}")
+        if self.resolution not in ("ca", "lt"):
+            raise ValueError(f"unknown resolution {self.resolution!r}")
         if self.abstraction == "tlm" and self.topology != "collapsed":
             raise ValueError(
                 "the TLM tier models a single layer: use topology="

@@ -73,6 +73,11 @@ class PlatformInstance(Component):
     def __init__(self, sim: Simulator, config: PlatformConfig,
                  name: str = "platform") -> None:
         super().__init__(sim, name)
+        # The resolution must be announced before any component captures
+        # it (select-once discipline); set_resolution refuses on a
+        # simulator that already ran.
+        if config.resolution != sim.resolution:
+            sim.set_resolution(config.resolution)
         self.config = config
         self.fabrics: Dict[str, Fabric] = {}
         self.bridges: List = []

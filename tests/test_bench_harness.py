@@ -20,7 +20,8 @@ def test_run_benchmarks_tiny_scale():
     assert set(results) == set(bench.SCENARIOS)
     for name, row in results.items():
         assert set(row) == {"wall_s", "events", "events_per_sec",
-                            "sim_time_ps"}, name
+                            "sim_time_ps", "mode"}, name
+        assert row["mode"] == "ca", name
         assert row["events"] > 0, name
         assert row["wall_s"] > 0, name
         assert row["events_per_sec"] == pytest.approx(

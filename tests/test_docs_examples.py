@@ -1,0 +1,160 @@
+"""Documentation example checker.
+
+Two promises the docs make are enforced here:
+
+* ``docs/FAST_SIM.md`` quotes the accuracy-contract constants of
+  :mod:`repro.check.lt_accuracy` in its bounds table. The table and the
+  module must agree — neither can move without the other.
+* ``README.md`` and ``docs/*.md`` quote ``repro ...`` command lines in
+  their code blocks. Every quoted command must parse against the real
+  CLI (known subcommand, known flags), and a fast allowlisted subset is
+  actually executed so the quickstart examples cannot rot.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.check import lt_accuracy
+from repro.cli import build_parser, main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# ---------------------------------------------------------------------------
+# FAST_SIM.md constants table vs repro.check.lt_accuracy
+
+
+#: `NAME = value` spans inside docs/FAST_SIM.md (the bounds-table column).
+_CONSTANT = re.compile(r"`([A-Z][A-Z0-9_]*)\s*=\s*([0-9.]+)`")
+
+#: Every bound the contract publishes must appear in the document.
+_REQUIRED_CONSTANTS = ("EXECUTION_TIME_DRIFT", "LATENCY_DRIFT",
+                      "UTILIZATION_ABS_DRIFT", "MIN_EVENT_SPEEDUP")
+
+
+def test_fast_sim_constants_match_code():
+    text = (REPO_ROOT / "docs" / "FAST_SIM.md").read_text()
+    documented = {name: float(value)
+                  for name, value in _CONSTANT.findall(text)}
+    for name in _REQUIRED_CONSTANTS:
+        assert name in documented, (
+            f"FAST_SIM.md no longer documents {name}")
+    for name, value in documented.items():
+        actual = getattr(lt_accuracy, name, None)
+        assert actual is not None, (
+            f"FAST_SIM.md documents {name}, which repro.check.lt_accuracy "
+            f"does not define")
+        assert actual == value, (
+            f"FAST_SIM.md documents {name} = {value} but the code has "
+            f"{actual}; update the table and the constant together")
+
+
+# ---------------------------------------------------------------------------
+# Quoted CLI commands vs the real parser
+
+
+#: A quoted command line: an optional ``$`` console prompt, an optional
+#: ``PYTHONPATH=...`` prefix, then ``python -m repro`` or bare ``repro``.
+_COMMAND = re.compile(
+    r"^(?:\$\s+)?(?:PYTHONPATH=\S+\s+)?(?:python\s+-m\s+repro|repro)\s+(.+)$")
+
+
+def _doc_files():
+    docs = [REPO_ROOT / "README.md"]
+    docs.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return docs
+
+
+def _quoted_commands(doc: Path):
+    """Yield the argv tail of every runnable ``repro`` command the
+    document quotes. Lines with placeholders (``<digest>``, ``...``) or
+    shell plumbing are illustrative, not runnable, and are skipped."""
+    for line in doc.read_text().splitlines():
+        match = _COMMAND.match(line.strip())
+        if not match:
+            continue
+        tail = match.group(1).split("#", 1)[0].strip()
+        if any(marker in tail for marker in ("<", ">", "...", "|", "&&")):
+            continue
+        if tail:
+            yield tail.split()
+
+
+def _subcommands():
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        if hasattr(action, "choices"):
+            return dict(action.choices)
+    raise AssertionError("repro CLI has no subparsers")  # pragma: no cover
+
+
+def _commands_by_doc():
+    return [(doc.name, argv)
+            for doc in _doc_files()
+            for argv in _quoted_commands(doc)]
+
+
+def test_docs_quote_commands_at_all():
+    """The extraction is not vacuous: the quickstart docs do quote
+    runnable commands."""
+    docs_with_commands = {name for name, _ in _commands_by_doc()}
+    assert "README.md" in docs_with_commands
+    assert "FAST_SIM.md" in docs_with_commands
+
+
+@pytest.mark.parametrize(
+    "doc,argv", _commands_by_doc(),
+    ids=lambda v: v if isinstance(v, str) else " ".join(v))
+def test_quoted_commands_parse(doc, argv):
+    subcommands = _subcommands()
+    command, rest = argv[0], argv[1:]
+    assert command in subcommands, (
+        f"{doc} quotes unknown subcommand 'repro {command}'")
+    known_flags = set(subcommands[command]._option_string_actions)
+    unknown = [token.split("=", 1)[0] for token in rest
+               if token.startswith("--")
+               and token.split("=", 1)[0] not in known_flags]
+    assert not unknown, (
+        f"{doc} quotes 'repro {' '.join(argv)}' with flags the CLI does "
+        f"not accept: {unknown}")
+
+
+# ---------------------------------------------------------------------------
+# Executable subset: the FAST_SIM.md examples actually run
+
+
+#: (doc, quoted argv, speed overrides appended for the test run).
+#: The quoted argv must appear verbatim in the doc — if the doc example
+#: changes, this list changes with it.
+_EXECUTED = [
+    ("FAST_SIM.md",
+     ["platform", "examples/configs/custom_platform.json", "--mode", "lt"],
+     ["--max-us", "300"]),
+    ("FAST_SIM.md",
+     ["bench", "--mode", "lt", "--scenario", "platform_run",
+      "--output", "/tmp/bench_lt.json"],
+     ["--repeats", "1", "--bench-scale", "0.2"]),
+]
+
+
+@pytest.mark.parametrize("doc,argv,overrides", _EXECUTED,
+                         ids=lambda v: " ".join(v) if isinstance(v, list) else None)
+def test_doc_examples_execute(doc, argv, overrides, tmp_path, monkeypatch,
+                              capsys):
+    quoted = [tuple(cmd) for name, cmd in _commands_by_doc() if name == doc]
+    assert tuple(argv) in quoted, (
+        f"{doc} no longer quotes 'repro {' '.join(argv)}'; update _EXECUTED")
+    # Keep the example verbatim but redirect artifacts into tmp_path and
+    # shorten the run — the docs quote full-length invocations.
+    run_argv = [str(tmp_path / "out.json") if token.startswith("/tmp/")
+                else token for token in argv] + overrides
+    monkeypatch.chdir(REPO_ROOT)
+    assert main(run_argv) == 0, f"'repro {' '.join(run_argv)}' failed"
+    out = capsys.readouterr().out
+    if argv[0] == "platform":
+        assert "resolution:      lt" in out
+    if argv[0] == "bench":
+        rows = json.loads((tmp_path / "out.json").read_text())
+        assert rows and all(row["mode"] == "lt" for row in rows.values())

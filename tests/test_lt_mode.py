@@ -1,0 +1,320 @@
+"""Dual-resolution (CA vs LT) mode tests.
+
+The loosely-timed mode's promises are written down twice: prose and
+bounds in ``docs/FAST_SIM.md``, numbers in ``repro.check.lt_accuracy``.
+These tests exercise the promises end to end: kernel primitives
+(inline-succeed trampoline, immediate process spawn), configuration
+plumbing (``resolution`` field, loader round-trip, ``--mode`` CLI flag),
+the accuracy contract on the reference platform and randomized
+configurations, and the differential harness's bit-identity *within* LT.
+"""
+
+import json
+
+import pytest
+
+from repro.check import CheckedRun, LtRun, random_config
+from repro.check.lt_accuracy import (
+    EXECUTION_TIME_DRIFT,
+    LATENCY_DRIFT,
+    MIN_EVENT_SPEEDUP,
+    UTILIZATION_ABS_DRIFT,
+    universal_failures,
+    within_bounds,
+)
+from repro.cli import main
+from repro.core import Simulator
+from repro.core.events import Event, completed_event
+from repro.platforms import build_platform, quick_config
+from repro.platforms.loader import config_from_dict, load_config, save_config
+
+QUICK_MAX_PS = 10**13
+
+
+def _run_quick(resolution):
+    sim = Simulator()
+    platform = build_platform(sim, quick_config(resolution=resolution))
+    result = platform.run(max_ps=QUICK_MAX_PS)
+    return sim, result
+
+
+# ---------------------------------------------------------------------------
+# Kernel primitives
+# ---------------------------------------------------------------------------
+
+class TestKernelPrimitives:
+    def test_resolution_constructor_and_default(self):
+        assert Simulator().resolution == "ca"
+        assert not Simulator().lt_enabled
+        sim = Simulator(resolution="lt")
+        assert sim.resolution == "lt"
+        assert sim.lt_enabled
+
+    def test_unknown_resolution_rejected(self):
+        with pytest.raises(ValueError, match="resolution"):
+            Simulator(resolution="fast")
+        with pytest.raises(ValueError, match="resolution"):
+            Simulator().set_resolution("loose")
+
+    def test_set_resolution_requires_pristine_simulator(self):
+        sim = Simulator()
+        sim.set_resolution("lt")  # pristine: fine
+        assert sim.lt_enabled
+        def body():
+            yield sim2.timeout(1)
+
+        sim2 = Simulator()
+        sim2.process(body())
+        with pytest.raises(RuntimeError, match="pristine"):
+            sim2.set_resolution("lt")
+        # A no-op switch is always allowed.
+        sim2.set_resolution("ca")
+
+    def test_succeed_inline_runs_callbacks_synchronously(self):
+        sim = Simulator(resolution="lt")
+        seen = []
+        event = Event(sim, name="probe")
+        event.callbacks.append(lambda e: seen.append(e.value))
+        event.succeed_inline(42)
+        assert seen == [42]
+        assert event.triggered and event.ok and event.value == 42
+        # Nothing was scheduled: the heap is empty, no events processed.
+        assert sim.peek() is None
+        assert sim.processed_events == 0
+
+    def test_succeed_inline_rejects_double_trigger(self):
+        sim = Simulator(resolution="lt")
+        event = Event(sim, name="once")
+        event.succeed_inline()
+        with pytest.raises(RuntimeError):
+            event.succeed_inline()
+
+    def test_inline_trampoline_is_iterative_not_recursive(self):
+        # A long chain of events, each triggering the next from inside the
+        # previous one's callback, must not hit the recursion limit.
+        sim = Simulator(resolution="lt")
+        depth = 5000
+        events = [Event(sim, name=f"chain{i}") for i in range(depth)]
+        fired = []
+
+        def chain(i):
+            def fire(_):
+                fired.append(i)
+                if i + 1 < depth:
+                    events[i + 1].succeed_inline()
+            return fire
+
+        for i, event in enumerate(events):
+            event.callbacks.append(chain(i))
+        events[0].succeed_inline()
+        assert fired == list(range(depth))
+
+    def test_completed_event_is_pre_triggered(self):
+        sim = Simulator(resolution="lt")
+        event = completed_event(sim, value="ok")
+        assert event.triggered and event.value == "ok"
+
+    def test_immediate_process_spawn_runs_before_heap(self):
+        sim = Simulator(resolution="lt")
+        order = []
+
+        def child():
+            order.append("child")
+            return
+            yield
+
+        def parent():
+            sim.process(child(), name="child", immediate=True)
+            order.append("parent-after-spawn")
+            return
+            yield
+
+        # The parent itself is an elaboration-time spawn: heap-initialised.
+        sim.process(parent(), name="parent")
+        sim.run()
+        assert order == ["child", "parent-after-spawn"]
+
+    def test_immediate_spawn_is_ca_noop(self):
+        # In CA mode the flag is ignored: init stays a heap event.
+        sim = Simulator()
+        ran = []
+
+        def child():
+            ran.append(True)
+            return
+            yield
+
+        sim.process(child(), immediate=True)
+        assert not ran  # not before run()
+        sim.run()
+        assert ran == [True]
+
+
+# ---------------------------------------------------------------------------
+# Configuration plumbing
+# ---------------------------------------------------------------------------
+
+class TestConfigPlumbing:
+    def test_config_resolution_validated(self):
+        with pytest.raises(ValueError, match="resolution"):
+            quick_config(resolution="warp")
+
+    def test_platform_applies_config_resolution(self):
+        sim = Simulator()
+        build_platform(sim, quick_config(resolution="lt"))
+        assert sim.lt_enabled
+        sim = Simulator()
+        build_platform(sim, quick_config())
+        assert not sim.lt_enabled
+
+    def test_loader_roundtrip_preserves_resolution(self, tmp_path):
+        config = quick_config(resolution="lt")
+        path = tmp_path / "lt.json"
+        save_config(config, path)
+        assert load_config(path).resolution == "lt"
+        assert config_from_dict({"resolution": "lt"}).resolution == "lt"
+
+    def test_scaled_override(self):
+        config = quick_config()
+        assert config.resolution == "ca"
+        assert config.scaled(resolution="lt").resolution == "lt"
+
+
+# ---------------------------------------------------------------------------
+# The accuracy contract (docs/FAST_SIM.md)
+# ---------------------------------------------------------------------------
+
+class TestAccuracyContract:
+    def test_quick_platform_within_bounds_with_speedup(self):
+        comparison = LtRun(quick_config(), max_ps=QUICK_MAX_PS,
+                           min_event_ratio=MIN_EVENT_SPEEDUP)
+        assert comparison.ok, comparison.describe()
+        assert comparison.event_ratio >= MIN_EVENT_SPEEDUP
+        assert comparison.lt_fastforwards > 0
+
+    def test_exact_fields_and_drift_props(self):
+        comparison = LtRun(quick_config(), max_ps=QUICK_MAX_PS)
+        assert comparison.lt.transactions == comparison.ca.transactions
+        assert (comparison.lt.bytes_transferred
+                == comparison.ca.bytes_transferred)
+        assert comparison.execution_time_drift <= EXECUTION_TIME_DRIFT
+        assert comparison.mean_latency_drift <= LATENCY_DRIFT
+        assert comparison.p95_latency_drift <= LATENCY_DRIFT
+        assert comparison.utilization_drift <= UTILIZATION_ABS_DRIFT
+
+    def test_within_bounds_flags_violations(self):
+        comparison = LtRun(quick_config(), max_ps=QUICK_MAX_PS)
+        # An impossible speedup floor must produce a failure message.
+        failures = within_bounds(comparison, min_event_ratio=10**6)
+        assert any("event ratio" in failure for failure in failures)
+
+    def test_ca_runs_have_no_fastforwards(self):
+        sim, _ = _run_quick("ca")
+        assert sim.lt_fastforwards == 0
+
+    def test_lt_processes_fewer_events(self):
+        ca_sim, _ = _run_quick("ca")
+        lt_sim, _ = _run_quick("lt")
+        assert lt_sim.processed_events * 5 <= ca_sim.processed_events
+
+    @pytest.mark.parametrize("seed", [1, 7, 13])
+    def test_randomized_configs_universal_clauses(self, seed):
+        # Arbitrary configurations get the universal clauses (exact work,
+        # never more events); the numeric drift bounds are published for —
+        # and gated over — the golden corpus (docs/FAST_SIM.md).
+        comparison = LtRun(random_config(seed))
+        assert not universal_failures(comparison), comparison.describe()
+
+    def test_hypothesis_randomized_configs(self):
+        hypothesis = pytest.importorskip("hypothesis")
+        from hypothesis import given, settings, strategies as st
+
+        @settings(max_examples=15, deadline=None)
+        @given(seed=st.integers(min_value=0, max_value=10**6))
+        def check(seed):
+            comparison = LtRun(random_config(seed))
+            assert not universal_failures(comparison), comparison.describe()
+
+        check()
+
+    @pytest.mark.parametrize("entry", ["quick_two_phase", "fig3_full_stbus"])
+    def test_golden_corpus_entries_within_bounds(self, entry):
+        # Two representative corpus entries inline in tier-1; the full
+        # corpus sweep is benchmarks/lt_gate.py's job in the CI smoke tier.
+        from repro.snapshot.golden import golden_configs
+
+        config, max_ps = golden_configs()[entry]
+        comparison = LtRun(config, max_ps=max_ps)
+        assert comparison.ok, comparison.describe()
+
+    @pytest.mark.parametrize("seed", [1, 7, 13])
+    def test_checked_run_is_bit_identical_within_lt(self, seed):
+        # The fast-vs-traced kernel identity holds inside LT mode too:
+        # inline events bypass both loop bodies symmetrically.
+        config = random_config(seed).scaled(resolution="lt")
+        outcome = CheckedRun(config)
+        assert outcome.ok, outcome.format()
+
+
+# ---------------------------------------------------------------------------
+# CLI and bench surfaces
+# ---------------------------------------------------------------------------
+
+class TestCliAndBench:
+    def _write_config(self, tmp_path, **overrides):
+        document = {
+            "protocol": "stbus",
+            "topology": "collapsed",
+            "traffic_scale": 0.1,
+            "cpu": {"enabled": False},
+        }
+        document.update(overrides)
+        path = tmp_path / "platform.json"
+        path.write_text(json.dumps(document))
+        return path
+
+    def test_platform_mode_flag(self, tmp_path, capsys):
+        path = self._write_config(tmp_path)
+        assert main(["platform", str(path), "--mode", "lt"]) == 0
+        out = capsys.readouterr().out
+        assert "resolution:      lt" in out
+
+    def test_platform_mode_defaults_to_config(self, tmp_path, capsys):
+        path = self._write_config(tmp_path, resolution="lt")
+        assert main(["platform", str(path)]) == 0
+        assert "resolution:      lt" in capsys.readouterr().out
+
+    def test_platform_mode_flag_matches_ca_counters(self, tmp_path, capsys):
+        path = self._write_config(tmp_path)
+        assert main(["platform", str(path)]) == 0
+        ca_out = capsys.readouterr().out
+        assert main(["platform", str(path), "--mode", "lt"]) == 0
+        lt_out = capsys.readouterr().out
+
+        def field(output, key):
+            for line in output.splitlines():
+                if line.startswith(key):
+                    return line.split()[-1]
+            raise AssertionError(f"{key} not in output")
+
+        assert field(ca_out, "transactions") == field(lt_out, "transactions")
+        assert field(ca_out, "bytes") == field(lt_out, "bytes")
+
+    def test_bench_records_mode(self, tmp_path, capsys):
+        out_file = tmp_path / "bench.json"
+        assert main(["bench", "--scenario", "fifo_pipeline", "--repeats", "1",
+                     "--bench-scale", "0.02", "--mode", "lt",
+                     "--output", str(out_file)]) == 0
+        document = json.loads(out_file.read_text())
+        assert document["fifo_pipeline"]["mode"] == "lt"
+        assert "lt" in capsys.readouterr().out
+
+    def test_bench_defaults_to_ca_mode(self, tmp_path):
+        from repro import bench
+
+        results = bench.run_benchmarks(names=["fifo_pipeline"], repeats=1,
+                                       scale=0.02)
+        assert results["fifo_pipeline"]["mode"] == "ca"
+        with pytest.raises(ValueError, match="resolution"):
+            bench.run_benchmarks(names=["fifo_pipeline"], repeats=1,
+                                 scale=0.02, resolution="warp")

@@ -7,7 +7,8 @@ the contract enforceable: every golden-corpus configuration is run at both
 resolutions (:func:`repro.check.LtRun`) and each pair must satisfy every
 clause — exact transaction/byte counts, execution-time drift within
 ``EXECUTION_TIME_DRIFT``, latency drift within ``LATENCY_DRIFT``,
-utilization within ``UTILIZATION_ABS_DRIFT``.
+utilization within ``UTILIZATION_ABS_DRIFT``, total energy within
+``ENERGY_DRIFT`` (the accountant is force-enabled on both legs).
 
 On top of the per-entry accuracy clauses, the gate asserts the headline
 speedup claim: the STBus reference platform (the ``platform_run`` bench

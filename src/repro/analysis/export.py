@@ -26,10 +26,13 @@ def results_to_csv(path: PathLike, results: Iterable[RunResult]) -> None:
     rows = list(results)
     util_keys = sorted({k for r in rows for k in r.utilization})
     extra_keys = sorted({k for r in rows for k in r.extra})
+    energy_keys = sorted({k for r in rows for k in r.energy_pj})
     header = (["label", "execution_time_ps", "transactions",
-               "bytes_transferred", "mean_latency_ps", "p95_latency_ps"]
+               "bytes_transferred", "mean_latency_ps", "p95_latency_ps",
+               "energy_total_pj", "pj_per_byte"]
               + [f"util.{k}" for k in util_keys]
-              + [f"extra.{k}" for k in extra_keys])
+              + [f"extra.{k}" for k in extra_keys]
+              + [f"energy.{k}" for k in energy_keys])
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(header)
@@ -38,9 +41,12 @@ def results_to_csv(path: PathLike, results: Iterable[RunResult]) -> None:
                 [result.label, result.execution_time_ps,
                  result.transactions, result.bytes_transferred,
                  f"{result.mean_latency_ps:.1f}",
-                 f"{result.p95_latency_ps:.1f}"]
+                 f"{result.p95_latency_ps:.1f}",
+                 f"{result.energy_total_pj:.3f}",
+                 f"{result.pj_per_byte:.4f}"]
                 + [result.utilization.get(k, "") for k in util_keys]
-                + [result.extra.get(k, "") for k in extra_keys])
+                + [result.extra.get(k, "") for k in extra_keys]
+                + [result.energy_pj.get(k, "") for k in energy_keys])
 
 
 def transactions_to_csv(path: PathLike,

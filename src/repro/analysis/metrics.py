@@ -28,6 +28,11 @@ class RunResult:
     mean_latency_ps: float = 0.0
     p95_latency_ps: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-component energy in picojoules, keyed by component name
+    #: (empty unless the run had an energy accountant attached).
+    energy_pj: Dict[str, float] = field(default_factory=dict)
+    #: Total platform energy in picojoules (0.0 = energy model disabled).
+    energy_total_pj: float = 0.0
 
     @property
     def execution_time_ns(self) -> float:
@@ -39,6 +44,19 @@ class RunResult:
             return 0.0
         return self.bytes_transferred / (self.execution_time_ps / 1_000)
 
+    @property
+    def pj_per_byte(self) -> float:
+        """Energy cost of moving one byte (0.0 on zero-traffic runs)."""
+        if self.bytes_transferred == 0:
+            return 0.0
+        return self.energy_total_pj / self.bytes_transferred
+
+    @property
+    def energy_delay_product(self) -> float:
+        """Energy-delay product in pJ*ns — the ranking metric that rewards
+        neither a slow-but-frugal nor a fast-but-hungry corner."""
+        return self.energy_total_pj * self.execution_time_ns
+
     def normalized_to(self, baseline: "RunResult") -> float:
         """Execution time relative to ``baseline`` (Fig. 3/5 bar heights)."""
         if baseline.execution_time_ps == 0:
@@ -49,7 +67,9 @@ class RunResult:
 def summarize_transactions(label: str, execution_time_ps: int,
                            transactions: Iterable[Transaction],
                            utilization: Optional[Dict[str, float]] = None,
-                           extra: Optional[Dict[str, float]] = None) -> RunResult:
+                           extra: Optional[Dict[str, float]] = None,
+                           energy_pj: Optional[Dict[str, float]] = None,
+                           energy_total_pj: float = 0.0) -> RunResult:
     """Build a :class:`RunResult` from a completed transaction population."""
     txns = list(transactions)
     done = [t for t in txns if t.t_done is not None]
@@ -65,6 +85,8 @@ def summarize_transactions(label: str, execution_time_ps: int,
         mean_latency_ps=mean,
         p95_latency_ps=float(p95),
         extra=dict(extra or {}),
+        energy_pj=dict(energy_pj or {}),
+        energy_total_pj=energy_total_pj,
     )
 
 

@@ -19,6 +19,11 @@ Schema of the output file — one entry per scenario::
       ...
     }
 
+The ``platform_run`` entry additionally records ``"energy_pj"`` — the
+quick platform's total energy from a separate, untimed accountant-enabled
+run (see ``docs/OBSERVABILITY.md``, "Energy accounting") — so the file
+tracks the platform's energy trajectory next to its event trajectory.
+
 Run it via ``repro bench`` (see ``docs/PERFORMANCE.md``) or programmatically
 through :func:`run_benchmarks`.  Every scenario returns
 ``(processed_events, sim_time_ps)`` and must be deterministic: identical
@@ -176,6 +181,29 @@ SCENARIOS: Dict[str, Scenario] = {
 }
 
 
+def _platform_energy_pj(resolution: str) -> float:
+    """Total quick-platform energy in pJ, from a separate untimed run.
+
+    The timed ``platform_run`` repeats stay on the uninstrumented fast
+    path (the wall-clock numbers must keep measuring the disabled-path
+    cost); this extra run attaches the accountant and stamps the energy
+    total into the result entry so ``BENCH_kernel.json`` tracks the
+    platform's energy trajectory alongside its event trajectory.  Like
+    the event counts, the total is deterministic per mode.
+    """
+    import dataclasses
+
+    from .platforms import build_platform, quick_config
+
+    config = quick_config(resolution=resolution)
+    config = config.scaled(
+        energy=dataclasses.replace(config.energy, enabled=True))
+    sim = Simulator()
+    platform = build_platform(sim, config)
+    result = platform.run(max_ps=10**13)
+    return result.energy_total_pj
+
+
 def run_benchmarks(names: Optional[Iterable[str]] = None, repeats: int = 3,
                    scale: float = 1.0,
                    resolution: str = "ca") -> Dict[str, Dict[str, float]]:
@@ -218,6 +246,8 @@ def run_benchmarks(names: Optional[Iterable[str]] = None, repeats: int = 3,
             "sim_time_ps": sim_time,
             "mode": resolution,
         }
+        if name == "platform_run":
+            results[name]["energy_pj"] = _platform_energy_pj(resolution)
     return results
 
 

@@ -24,6 +24,7 @@ from ..core.component import Component
 from ..core.kernel import Simulator
 from ..interconnect.base import Fabric, InitiatorPort, TargetPort
 from ..interconnect.types import AddressRange, ResponseBeat, Transaction
+from ..obs.energy import fj_from_pj as _fj
 
 
 class BridgeBase(Component):
@@ -66,6 +67,10 @@ class BridgeBase(Component):
         checks = getattr(sim, "_checks", None)
         if checks is not None:
             checks.register_bridge(self)
+        #: Energy accountant slot + pre-resolved per-beat charge (fJ).
+        self._energy = sim._energy
+        self._e_beat = 0 if self._energy is None else \
+            _fj(self._energy.config.bridge_pj_per_beat)
 
     # ------------------------------------------------------------------
     @property
@@ -100,6 +105,11 @@ class BridgeBase(Component):
         spans = self.sim._spans
         if spans is not None:
             spans.mark(txn, "bridge.convert")
+        if self._energy is not None:
+            # Conversion cost scales with the far-side beat count (the
+            # re-timing FIFO traversals + width-conversion datapath).
+            self._energy.charge(self.name, self._e_beat * beats,
+                                self.sim.now, txn.initiator, txn.tid)
         return child
 
     # ------------------------------------------------------------------

@@ -16,6 +16,7 @@ randomized configurations.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -55,6 +56,15 @@ LATENCY_DRIFT = 0.08
 
 #: Maximum absolute drift of the bus-utilization fraction (0..1 scale).
 UTILIZATION_ABS_DRIFT = 0.02
+
+#: Maximum relative drift of total platform energy.  LT charges through
+#: the very same per-beat taps as CA (batching moves events, never beat
+#: counts), so per-beat energy is exact; what drifts is the
+#: time-integrated SDRAM background power (bounded by the execution-time
+#: clause) and the command-count-based standby/ACT terms (worst measured:
+#: 0.61% on the Fig. 5 instances, where LT's merge timing shifts a couple
+#: of ACTIVATE/PRECHARGE pairs).
+ENERGY_DRIFT = 0.01
 
 #: Minimum CA-events / LT-events ratio on the STBus reference platform
 #: (the ``platform_run`` benchmark scenario).  Deliberately *not* applied
@@ -110,6 +120,10 @@ class LtComparison:
         return _relative(self.lt.p95_latency_ps, self.ca.p95_latency_ps)
 
     @property
+    def energy_drift(self) -> float:
+        return _relative(self.lt.energy_total_pj, self.ca.energy_total_pj)
+
+    @property
     def utilization_drift(self) -> float:
         """Worst absolute per-component utilization deviation."""
         keys = set(self.ca.utilization) | set(self.lt.utilization)
@@ -130,6 +144,8 @@ class LtComparison:
             f"(bound {LATENCY_DRIFT * 100:.0f}%)",
             f"  utilization drift {self.utilization_drift:.4f} "
             f"(bound {UTILIZATION_ABS_DRIFT})",
+            f"  energy drift {self.energy_drift * 100:.3f}% "
+            f"(bound {ENERGY_DRIFT * 100:.0f}%)",
         ]
         if self.failures:
             lines.append("  FAILED contract clauses:")
@@ -187,6 +203,10 @@ def within_bounds(comparison: LtComparison,
         failures.append(
             f"utilization drift {comparison.utilization_drift:.4f} "
             f"exceeds {UTILIZATION_ABS_DRIFT}")
+    if comparison.energy_drift > ENERGY_DRIFT:
+        failures.append(
+            f"energy drift {comparison.energy_drift:.4f} "
+            f"exceeds {ENERGY_DRIFT}")
     if (min_event_ratio is not None
             and comparison.event_ratio < min_event_ratio):
         failures.append(
@@ -198,7 +218,12 @@ def within_bounds(comparison: LtComparison,
 def _run_mode(config: PlatformConfig, resolution: str,
               max_ps: Optional[int]):
     sim = Simulator()
-    platform = build_platform(sim, config.scaled(resolution=resolution))
+    # Energy accounting is force-enabled on both legs so the energy
+    # clause always has data to compare; with both sides instrumented
+    # through the same taps this perturbs neither timing nor events.
+    platform = build_platform(sim, config.scaled(
+        resolution=resolution,
+        energy=dataclasses.replace(config.energy, enabled=True)))
     result = platform.run(max_ps=max_ps)
     return sim, result
 
@@ -231,6 +256,7 @@ def LtRun(config: PlatformConfig, max_ps: Optional[int] = 10**9,
 
 
 __all__ = [
+    "ENERGY_DRIFT",
     "EXACT_FIELDS",
     "EXECUTION_TIME_DRIFT",
     "LATENCY_DRIFT",

@@ -10,6 +10,8 @@
     python -m repro sweep my_sweep.json --jobs 4 # design-space sweep file
     python -m repro trace fig5                   # lifecycle trace + hop table
     python -m repro stats fig6 --json out.json   # flat metric dump
+    python -m repro stats fig5 --energy          # + per-component energy
+    python -m repro stats my_platform.json --energy  # config files work too
     python -m repro bench                        # kernel perf -> BENCH_kernel.json
     python -m repro check fig5 --strict          # run under invariant monitors
     python -m repro check my_platform.json --diff # + fast-vs-reference diff
@@ -194,6 +196,9 @@ def cmd_platform(args) -> int:
     print(f"transactions:    {result.transactions}")
     print(f"bytes:           {result.bytes_transferred}")
     print(f"throughput:      {result.throughput_bytes_per_ns:.3f} B/ns")
+    if result.energy_total_pj:
+        print(f"energy:          {result.energy_total_pj:.1f} pJ "
+              f"({result.pj_per_byte:.3f} pJ/B)")
     for key, value in sorted(result.extra.items()):
         print(f"{key + ':':<17}{value:.2f}")
     if args.csv:
@@ -248,32 +253,89 @@ def cmd_trace(args) -> int:
     return 0
 
 
+def _energy_report(cap) -> str:
+    """Aggregate energy breakdown across a capture's accountants.
+
+    Per-component rows are the conserving ledger (they sum to the total);
+    the initiator view only covers requester-attributable charges, so it
+    is reported without shares.  ``pJ/byte`` divides by the completed
+    payload bytes — zero-traffic runs report 0.0 rather than dividing.
+    """
+    components: Dict[str, float] = {}
+    initiators: Dict[str, float] = {}
+    total_pj = 0.0
+    for accountant in cap.accountants:
+        if accountant is None:
+            continue
+        total_pj += accountant.total_pj
+        for name, pj in accountant.component_pj().items():
+            components[name] = components.get(name, 0.0) + pj
+        for name, pj in accountant.initiator_pj().items():
+            initiators[name] = initiators.get(name, 0.0) + pj
+    total_bytes = sum(txn.beats * txn.beat_bytes for txn in cap.completed())
+    lines = ["### energy breakdown\n"]
+    comp_rows = [[name, f"{pj:.1f}",
+                  f"{100 * pj / total_pj:.1f}%" if total_pj else "-"]
+                 for name, pj in sorted(components.items(),
+                                        key=lambda kv: -kv[1])]
+    lines.append(format_table(["component", "pJ", "share"], comp_rows))
+    if initiators:
+        init_rows = [[name, f"{pj:.1f}"]
+                     for name, pj in sorted(initiators.items(),
+                                            key=lambda kv: -kv[1])]
+        lines.append("")
+        lines.append(format_table(["initiator", "pJ"], init_rows))
+    pj_per_byte = total_pj / total_bytes if total_bytes else 0.0
+    lines.append(f"\ntotal energy:  {total_pj:.1f} pJ")
+    lines.append(f"payload bytes: {total_bytes}")
+    lines.append(f"pJ per byte:   {pj_per_byte:.3f}")
+    return "\n".join(lines)
+
+
 def cmd_stats(args) -> int:
-    table = registry()
-    if args.experiment not in table:
-        print(f"unknown experiment {args.experiment!r}; try 'list'",
-              file=sys.stderr)
-        return 2
+    """Metric dump for an experiment name or a platform config JSON."""
     from .obs import capture, metrics_csv, metrics_json, metrics_text
 
-    description, runner = table[args.experiment]
-    with capture() as cap:
-        runner(args.scale)
+    table = registry()
+    if args.target in table:
+        description, runner = table[args.target]
+        title = f"{args.target}: {description}"
+        with capture(energy=args.energy) as cap:
+            runner(args.scale)
+    else:
+        from .core import Simulator
+        from .platforms import build_platform
+        from .platforms.loader import ConfigError, load_config
+
+        try:
+            config = load_config(args.target)
+        except (OSError, ConfigError) as exc:
+            print(f"error: {args.target!r} is neither an experiment "
+                  f"(try 'list') nor a readable platform config: {exc}",
+                  file=sys.stderr)
+            return 2
+        title = config.label()
+        with capture(energy=args.energy) as cap:
+            sim = Simulator()
+            platform = build_platform(sim, config)
+            platform.run(max_ps=int(args.max_us * 1_000_000))
     rows = cap.metrics_snapshot()
     sim_time = max((sim.now for sim in cap.simulators), default=0)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(metrics_json(rows, sim_time_ps=sim_time,
-                                      experiment=args.experiment))
+                                      experiment=args.target))
         print(f"wrote {len(rows)} metric rows to {args.json}")
     if args.csv:
         with open(args.csv, "w", encoding="utf-8") as handle:
             handle.write(metrics_csv(rows))
         print(f"wrote {len(rows)} metric rows to {args.csv}")
     if not args.json and not args.csv:
-        print(f"### {args.experiment}: {description} — "
-              f"{len(rows)} metric rows\n")
+        print(f"### {title} — {len(rows)} metric rows\n")
         print(metrics_text(rows, prefix=args.prefix))
+    if args.energy:
+        print()
+        print(_energy_report(cap))
     return 0
 
 
@@ -303,15 +365,29 @@ def cmd_sweep(args) -> int:
         return 1
     results = [dataclasses.replace(outcome.result, label=label)
                for label, outcome in zip(spec.labels, outcomes)]
-    rows = [[label, result.execution_time_ns, result.transactions,
-             result.throughput_bytes_per_ns,
-             "hit" if outcome.cached else "run"]
-            for label, outcome, result in zip(spec.labels, outcomes, results)]
-    print(format_table(
-        ["point", "exec (ns)", "transactions", "B/ns", "cache"], rows))
+    # Energy columns appear when any point carried an enabled energy
+    # block; points are then comparable by energy-delay product.
+    energy_on = any(result.energy_total_pj for result in results)
+    rows = []
+    for label, outcome, result in zip(spec.labels, outcomes, results):
+        row = [label, result.execution_time_ns, result.transactions,
+               result.throughput_bytes_per_ns]
+        if energy_on:
+            row += [f"{result.energy_total_pj:.0f}",
+                    f"{result.energy_delay_product:.3e}"]
+        row.append("hit" if outcome.cached else "run")
+        rows.append(row)
+    headers = (["point", "exec (ns)", "transactions", "B/ns"]
+               + (["energy (pJ)", "EDP (pJ*ns)"] if energy_on else [])
+               + ["cache"])
+    print(format_table(headers, rows))
     hits = sum(1 for outcome in outcomes if outcome.cached)
     print(f"\n{len(outcomes)} point(s), {hits} served from cache, "
           f"jobs={jobs or 1}")
+    if energy_on:
+        best = min(results, key=lambda r: r.energy_delay_product)
+        print(f"best energy-delay product: {best.label} "
+              f"({best.energy_delay_product:.3e} pJ*ns)")
     if args.csv:
         from .analysis import results_to_csv
 
@@ -573,10 +649,20 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.set_defaults(func=cmd_trace)
 
     stats_parser = sub.add_parser(
-        "stats", help="run an experiment and dump the flat metric registry")
-    stats_parser.add_argument("experiment")
+        "stats", help="run an experiment (or a platform config JSON) and "
+                      "dump the flat metric registry")
+    stats_parser.add_argument("target",
+                              help="experiment name or platform config JSON")
     stats_parser.add_argument("--scale", type=float, default=1.0,
-                              help="traffic scale factor (default 1.0)")
+                              help="traffic scale factor for experiment "
+                                   "targets (default 1.0)")
+    stats_parser.add_argument("--max-us", type=float, default=20_000.0,
+                              help="simulation bound for config targets, "
+                                   "in microseconds")
+    stats_parser.add_argument("--energy", action="store_true",
+                              help="attach the energy accountant and print "
+                                   "the per-component / per-initiator "
+                                   "breakdown (see docs/OBSERVABILITY.md)")
     stats_parser.add_argument("--json", metavar="PATH",
                               help="write metrics as JSON")
     stats_parser.add_argument("--csv", metavar="PATH",

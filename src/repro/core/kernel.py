@@ -131,6 +131,12 @@ class Simulator:
         #: component construction, guarded per transaction hop, never
         #: consulted inside the event loops.
         self._checks = None
+        #: Energy accountant (``repro.obs.energy.EnergyAccountant``) or
+        #: ``None``.  Third user of the select-once discipline: components
+        #: capture the slot at construction and guard every charge with an
+        #: ``is not None`` check per transaction hop; the event loops never
+        #: see it.
+        self._energy = None
         #: Resolution announcement (see the constructor docstring).  Both
         #: fields are read once per component at construction time and
         #: never inside the event loops.

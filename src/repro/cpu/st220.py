@@ -47,6 +47,13 @@ class St220Core(Component):
         self.stall_cycles = Counter(f"{name}.stalls")
         self.miss_latency = LatencySummary(f"{name}.miss_latency")
         self.done: Event = sim.event(name=f"{name}.done")
+        #: Energy accounting: the caches themselves are sim-less lookup
+        #: structures, so the access charges live here at the call sites.
+        self._energy = sim._energy
+        if self._energy is not None:
+            from ..obs.energy import fj_from_pj
+            self._e_hit = fj_from_pj(self._energy.config.cache_hit_pj)
+            self._e_miss = fj_from_pj(self._energy.config.cache_miss_pj)
         self.process(self._run(), name="core")
 
     # ------------------------------------------------------------------
@@ -78,6 +85,10 @@ class St220Core(Component):
         for block in self.benchmark:
             # Instruction fetch.
             fetch = self.icache.access(block.fetch_address, is_write=False)
+            if self._energy is not None:
+                self._energy.charge(self.icache.name,
+                                    self._e_hit if fetch.hit else self._e_miss,
+                                    self.sim.now, self.name)
             if not fetch.hit:
                 yield from self._refill(fetch.refill_address,
                                         self.icache.line_bytes, None)
@@ -87,6 +98,11 @@ class St220Core(Component):
             if block.is_memory_op:
                 result = self.dcache.access(block.data_address,
                                             is_write=not block.is_load)
+                if self._energy is not None:
+                    self._energy.charge(
+                        self.dcache.name,
+                        self._e_hit if result.hit else self._e_miss,
+                        self.sim.now, self.name)
                 if not result.hit:
                     yield from self._refill(result.refill_address,
                                             self.dcache.line_bytes,

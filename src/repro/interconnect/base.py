@@ -218,6 +218,10 @@ class Fabric(Component):
         self._checks = sim._checks
         if self._checks is not None:
             self._checks.register_fabric(self)
+        #: Energy accountant (``None`` unless energy accounting is on);
+        #: same select-once discipline.  Coefficient resolution is lazy
+        #: (``StbusNode`` assigns ``bus_type`` after this constructor).
+        self._energy = sim._energy
         #: Channel occupancy accounting, keyed by channel name.
         self.channels: Dict[str, ChannelUtilization] = {}
         self.decode_errors = sim.metrics.counter(f"{name}.decode_errors")
@@ -348,6 +352,10 @@ class Fabric(Component):
         txn.t_granted = self.sim.now
         if self._checks is not None:
             self._checks.note_grant(self, port, txn)
+        if self._energy is not None:
+            # One charge per request-channel cell the transfer will occupy
+            # (reads: one cell; writes: data travels on the request path).
+            self._energy.bus_request(self, txn)
         if not port.pending.is_empty:
             # A new head surfaced; a channel process that went to sleep
             # because no head matched its direction must re-examine it
@@ -363,6 +371,8 @@ class Fabric(Component):
         txn = beat.txn
         if self._checks is not None:
             self._checks.note_beat(self, beat)
+        if self._energy is not None:
+            self._energy.bus_beat(self, txn)
         if txn.t_first_data is None and not beat.is_write_ack:
             txn.t_first_data = self.sim.now
         if beat.error:

@@ -200,8 +200,16 @@ class TlmNode(Fabric):
         target.served += 1
         txn.mark_accepted(now)
         if txn.is_write and txn.posted:
+            # Posted writes produce no response beats (as in the CA
+            # fabrics, which complete them at acceptance).
             txn.complete(now)
             return
+        if self._energy is not None:
+            # The TLM node drains responses analytically instead of
+            # calling ``deliver_beat`` per beat; charge the same beat
+            # population in one step (reads: the data burst, non-posted
+            # writes: the single acknowledgement cell).
+            self._energy.bus_beats(self, txn, txn.beats if txn.is_read else 1)
         first_data = start + estimate.first_data_ps
         drain = txn.beats * self.bus_cycles_for_beat(txn.beat_bytes) \
             * self.clock.period_ps

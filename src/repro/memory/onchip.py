@@ -68,6 +68,15 @@ class OnChipMemory(Component):
         self._turn_events = {}
         #: Loosely-timed flag, captured once (select-once discipline).
         self._lt = sim.lt_enabled
+        #: Energy accounting: slot + pre-resolved fJ per served beat.
+        #: LT batching changes when beats surface, never how many, so the
+        #: charge totals are identical between resolutions.
+        self._energy = sim._energy
+        if self._energy is not None:
+            # Deferred import: repro.memory must not import repro.obs at
+            # module scope (repro.obs.energy imports the timing tables).
+            from ..obs.energy import fj_from_pj
+            self._e_beat = fj_from_pj(self._energy.config.onchip_pj_per_beat)
         self.process(self._dispatch(), name="dispatch")
 
     # ------------------------------------------------------------------
@@ -138,6 +147,11 @@ class OnChipMemory(Component):
             if waiter is not None and not waiter.triggered:
                 waiter.succeed()
 
+    def _charge_beats(self, txn: Transaction, count: int) -> None:
+        """Array-access energy for ``count`` served beats of ``txn``."""
+        self._energy.charge(self.name, self._e_beat * count, self.sim.now,
+                            txn.initiator, txn.tid)
+
     def _stream_read(self, txn: Transaction, clk: Clock):
         """Stream the burst out, byte-based array time spread over beats."""
         total_cycles = self._service_cycles(txn.total_bytes)
@@ -151,6 +165,8 @@ class OnChipMemory(Component):
             if cycles > 0:
                 yield clk.edges(cycles)
             self.beats_served.add()
+            if self._energy is not None:
+                self._charge_beats(txn, 1)
             beat = ResponseBeat(txn, index=index, is_last=index == txn.beats - 1)
             # A full response FIFO back-pressures the array naturally.
             yield self.port.put_beat(beat)
@@ -173,6 +189,8 @@ class OnChipMemory(Component):
                 if cycles > 0:
                     yield clk.edges(cycles)
                 self.beats_served.add()
+                if self._energy is not None:
+                    self._charge_beats(txn, 1)
                 yield self.port.put_beat(ResponseBeat(
                     txn, index=index, is_last=index == txn.beats - 1))
                 index += 1
@@ -181,6 +199,8 @@ class OnChipMemory(Component):
             if cycles > 0:
                 yield clk.edges(cycles)
             self.beats_served.add(k)
+            if self._energy is not None:
+                self._charge_beats(txn, k)
             for offset in range(k):
                 i = index + offset
                 fifo.try_put(ResponseBeat(txn, index=i,
@@ -193,6 +213,8 @@ class OnChipMemory(Component):
         """Commit the already-transferred data, then acknowledge if needed."""
         yield clk.edges(self._service_cycles(txn.total_bytes))
         self.beats_served.add(txn.beats)
+        if self._energy is not None:
+            self._charge_beats(txn, txn.beats)
         if txn.meta.get("needs_ack", not txn.posted):
             ack = ResponseBeat(txn, index=-1, is_last=True)
             if not (self._lt and self.port.response_fifo.try_put(ack)):

@@ -71,6 +71,36 @@ class SdramDevice:
         #: its own bugs (see ``repro.check.sdram_audit``).
         checks = getattr(sim, "_checks", None)
         self.cmd_log = checks.sdram_log(self) if checks is not None else None
+        #: Energy accounting (``None`` unless an accountant is attached).
+        #: Command energies are pre-resolved to integer femtojoules so the
+        #: command paths below stay plain integer adds; power terms use the
+        #: identity 1 mW x 1 ps = 1 fJ.
+        energy = getattr(sim, "_energy", None)
+        self._energy = energy
+        if energy is not None:
+            # Deferred import: repro.memory must not import repro.obs at
+            # module scope (repro.obs.energy imports the timing tables).
+            from ..obs.energy import fj_from_pj
+            coeff = energy.config.sdram
+            self._e_act = fj_from_pj(coeff.act_pj)
+            self._e_pre = fj_from_pj(coeff.pre_pj)
+            self._e_rd = fj_from_pj(coeff.rd_pj_per_beat)
+            self._e_wr = fj_from_pj(coeff.wr_pj_per_beat)
+            self._e_ref = fj_from_pj(coeff.ref_pj)
+            self._e_background_mw = coeff.background_mw
+            #: Active-standby energy per ACTIVATE: the JEDEC-minimum
+            #: row-open window (tRAS) at ``active_standby_mw``.  This is
+            #: deliberately count-based, not residency-based — every
+            #: ACTIVATE must keep its row open at least tRAS, while
+            #: open-but-idle residency beyond that is the power-down
+            #: regime folded into ``background_mw``.  Residency-based
+            #: standby would inherit the LT mode's event-reordering
+            #: sensitivity (measured ~5% interval drift where commands
+            #: drift <1%), breaking the energy clause of the accuracy
+            #: contract for a second-order term.
+            self._e_standby = int(round(coeff.active_standby_mw
+                                        * timing.t_ras * clock.period_ps))
+            energy.add_finalizer(self._finalize_energy)
 
     # ------------------------------------------------------------------
     def _cycles(self, n: int) -> int:
@@ -91,6 +121,8 @@ class SdramDevice:
         when = self._command_slot(max(not_before_ps, bank.ready_precharge_ps))
         if self.cmd_log is not None:
             self.cmd_log.record(when, "PRE", bank_index)
+        if self._energy is not None:
+            self._energy.charge(self.name, self._e_pre, when)
         bank.open_row = None
         bank.ready_activate_ps = max(bank.ready_activate_ps,
                                      when + self._cycles(self.timing.t_rp))
@@ -113,6 +145,10 @@ class SdramDevice:
         when = self._command_slot(earliest)
         if self.cmd_log is not None:
             self.cmd_log.record(when, "ACT", bank_index, row)
+        if self._energy is not None:
+            # ACT charge plus the tRAS active-standby window it commits to.
+            self._energy.charge(self.name, self._e_act + self._e_standby,
+                                when)
         bank.open_row = row
         bank.last_activate_ps = when
         self._last_activate_any_ps = when
@@ -149,6 +185,10 @@ class SdramDevice:
         when = self._command_slot(latest_pre)
         if self.cmd_log is not None:
             self.cmd_log.record(when, "REF")
+        if self._energy is not None:
+            # Open banks were closed by the precharges above, so the REF
+            # charge is the whole all-banks refresh cycle.
+            self._energy.charge(self.name, self._e_ref, when)
         done = when + self._cycles(self.timing.t_rfc)
         for bank in self.banks:
             bank.ready_activate_ps = max(bank.ready_activate_ps, done)
@@ -174,6 +214,10 @@ class SdramDevice:
         if self.cmd_log is not None:
             self.cmd_log.record(when, "WR" if is_write else "RD",
                                 bank_index, row)
+        if self._energy is not None:
+            self._energy.charge(
+                self.name, (self._e_wr if is_write else self._e_rd) * beats,
+                when)
         latency = self._cycles(self.timing.cl if not is_write else 1)
         clocks_needed = -(-beats // self.timing.beats_per_clock)
         first_data = max(when + latency, self._databus_free_ps)
@@ -187,6 +231,14 @@ class SdramDevice:
         else:
             bank.ready_precharge_ps = max(bank.ready_precharge_ps, last_data)
         return first_data, last_data
+
+    # ------------------------------------------------------------------
+    # energy integration (only reachable with an accountant attached)
+    # ------------------------------------------------------------------
+    def _finalize_energy(self, now_ps: int) -> None:
+        """End-of-run integral: background power over the whole run."""
+        self._energy.charge(
+            self.name, int(round(self._e_background_mw * now_ps)), now_ps)
 
     # ------------------------------------------------------------------
     # high-level helper used by the controller's optimisation engine

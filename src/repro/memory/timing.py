@@ -126,3 +126,64 @@ TIMING_PRESETS: Dict[str, SdramTiming] = {
     "ddr": DDR_SDRAM,
     "sdr": SDR_SDRAM,
 }
+
+
+@dataclass(frozen=True)
+class SdramEnergy:
+    """Per-command SDRAM energies plus standby power.
+
+    The command energies (picojoules per command, per data beat for
+    RD/WR) pair with the :class:`SdramTiming` presets above the same way
+    a datasheet's IDD table pairs with its AC timing table: the numbers
+    are representative of mid-2000s parts (derived from IDD0/IDD4/IDD5
+    figures at 2.5 V for the DDR preset, 3.3 V for the SDR one), and are
+    tunable model parameters exactly like the timings.
+
+    Power terms are integrated over simulated time by the energy
+    accountant (``repro.obs.energy``): ``background_mw`` over the whole
+    run (clock tree, input buffers, refresh-interval leakage) and
+    ``active_standby_mw`` over every interval a bank holds a row open
+    (the IDD3N-minus-IDD2N delta that rewards precharging idle banks).
+    """
+
+    #: ACTIVATE: decode + row fetch into the sense amps (pJ/command).
+    act_pj: float = 180.0
+    #: PRECHARGE: restore the row, release the sense amps (pJ/command).
+    pre_pj: float = 80.0
+    #: READ burst data movement (pJ per data beat).
+    rd_pj_per_beat: float = 18.0
+    #: WRITE burst data movement (pJ per data beat).
+    wr_pj_per_beat: float = 20.0
+    #: AUTOREFRESH: all-banks row refresh cycle (pJ/command).
+    ref_pj: float = 450.0
+    #: Baseline device power whenever the clock runs (mW).
+    background_mw: float = 45.0
+    #: Additional power per bank while it holds a row open (mW).
+    active_standby_mw: float = 12.0
+
+    def __post_init__(self) -> None:
+        for name in ("act_pj", "pre_pj", "rd_pj_per_beat", "wr_pj_per_beat",
+                     "ref_pj", "background_mw", "active_standby_mw"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"energy parameter {name} cannot be negative")
+
+    def scaled(self, **overrides) -> "SdramEnergy":
+        """A copy with selected parameters replaced (for sweeps)."""
+        return replace(self, **overrides)
+
+
+#: Energy companion to :data:`DDR_SDRAM` (2.5 V DDR-333-class device).
+DDR_ENERGY = SdramEnergy()
+
+#: Energy companion to :data:`SDR_SDRAM` (3.3 V PC133-class device):
+#: higher rail voltage, slower clock — more energy per command and beat,
+#: less standby power.
+SDR_ENERGY = SdramEnergy(act_pj=240.0, pre_pj=110.0, rd_pj_per_beat=28.0,
+                         wr_pj_per_beat=31.0, ref_pj=560.0,
+                         background_mw=30.0, active_standby_mw=16.0)
+
+#: Named presets for configuration files (mirrors :data:`TIMING_PRESETS`).
+ENERGY_PRESETS: Dict[str, SdramEnergy] = {
+    "ddr": DDR_ENERGY,
+    "sdr": SDR_ENERGY,
+}

@@ -39,9 +39,10 @@ benchmark baseline).
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional
 
 from ..core import kernel as _kernel
+from .energy import EnergyAccountant, EnergyConfig, attach_energy
 from .export import metrics_csv, metrics_json, metrics_text
 from .perfetto import to_trace_json, trace_events, write_trace
 from .registry import FifoProbe, MetricRegistry
@@ -56,11 +57,14 @@ from .trace import (
 
 __all__ = [
     "Capture",
+    "EnergyAccountant",
+    "EnergyConfig",
     "FifoProbe",
     "Instant",
     "MetricRegistry",
     "Span",
     "SpanRecorder",
+    "attach_energy",
     "build_spans",
     "capture",
     "format_hop_summary",
@@ -75,10 +79,22 @@ __all__ = [
 
 
 class Capture:
-    """One observability session: recorders for every simulator it saw."""
+    """One observability session: recorders for every simulator it saw.
 
-    def __init__(self) -> None:
+    With ``energy=True`` every simulator additionally gets an
+    :class:`~repro.obs.energy.EnergyAccountant` (timeline and
+    per-transaction tracking on), so traces grow power counter tracks
+    and spans carry per-transaction energy.  Platform runs whose
+    configuration enables its own energy block re-point the capture
+    accountant's coefficients; either side alone is sufficient.
+    """
+
+    def __init__(self, energy: bool = False) -> None:
         self.recorders: List[SpanRecorder] = []
+        #: Index-aligned with :attr:`recorders` (``None`` when energy
+        #: accounting was not requested for this session).
+        self.accountants: List[Optional[EnergyAccountant]] = []
+        self._energy = energy
 
     # ------------------------------------------------------------------
     # attachment
@@ -90,6 +106,11 @@ class Capture:
         recorder = SpanRecorder(sim)
         sim._spans = recorder
         self.recorders.append(recorder)
+        if self._energy:
+            self.accountants.append(attach_energy(
+                sim, timeline=True, per_transaction=True))
+        else:
+            self.accountants.append(None)
         return recorder
 
     # ------------------------------------------------------------------
@@ -121,6 +142,11 @@ class Capture:
         Multi-simulator captures prefix rows with ``sim<N>.`` to keep them
         apart; the common single-simulator case stays unprefixed.
         """
+        # Close the time-integrated energy terms (SDRAM background power,
+        # open rows) at each simulator's current instant.  finalize() is
+        # idempotent, so a platform that already produced its RunResult
+        # is unaffected.
+        self._finalize_energy()
         if len(self.recorders) == 1:
             return self.recorders[0].sim.metrics.snapshot()
         rows: Dict[str, float] = {}
@@ -133,17 +159,24 @@ class Capture:
     # export
     # ------------------------------------------------------------------
     def to_trace_json(self):
-        return to_trace_json(self.recorders)
+        self._finalize_energy()
+        return to_trace_json(self.recorders, self.accountants)
 
     def write_trace(self, path: str) -> int:
         """Write a Perfetto trace file; returns the span-event count."""
-        return write_trace(path, self.recorders)
+        self._finalize_energy()
+        return write_trace(path, self.recorders, self.accountants)
+
+    def _finalize_energy(self) -> None:
+        for recorder, accountant in zip(self.recorders, self.accountants):
+            if accountant is not None:
+                accountant.finalize(recorder.sim.now)
 
 
 @contextmanager
-def capture() -> Iterator[Capture]:
+def capture(energy: bool = False) -> Iterator[Capture]:
     """Ambiently record every simulator built while the context is active."""
-    session = Capture()
+    session = Capture(energy=energy)
     _kernel._new_sim_hooks.append(session.attach)
     try:
         yield session

@@ -12,7 +12,12 @@ into the JSON object format understood by ``ui.perfetto.dev`` and
   transfer — with the transaction id and burst shape in ``args``,
 * ``"ph": "i"`` instant events for marks outside the lifecycle tiling
   (the memory-side tail of posted writes),
-* ``"ph": "M"`` metadata records naming processes and threads.
+* ``"ph": "M"`` metadata records naming processes and threads,
+* ``"ph": "C"`` counter events — per-component power-over-time tracks
+  (``power.<component>``, in mW) when an energy accountant with a
+  timeline is supplied.  The charge deltas are integer ``(ps, fJ)``
+  pairs, and ``fJ / ps = mW``, so binning is exact integer arithmetic
+  until the final division.
 
 Timestamps: the trace_event format counts microseconds.  The kernel counts
 integer picoseconds.  We export ``ts``/``dur`` in fractional microseconds
@@ -34,10 +39,49 @@ def _us(time_ps: int) -> float:
     return time_ps / _PS_PER_US
 
 
-def trace_events(recorders) -> List[Dict[str, Any]]:
-    """The ``traceEvents`` list for one or more span recorders."""
+#: Power counter resolution: charge deltas are folded into at most this
+#: many bins per run, so counter tracks stay viewer-friendly regardless
+#: of how many individual charges a run produced.
+_POWER_BINS = 200
+
+
+def _power_counter_events(pid: int, accountant) -> List[Dict[str, Any]]:
+    """``"C"`` events for one accountant's per-component power timeline."""
+    events: List[Dict[str, Any]] = []
+    deltas = accountant.timeline_deltas()
+    horizon = max((t for samples in deltas.values() for t, _ in samples),
+                  default=0)
+    if horizon <= 0:
+        return events
+    bin_ps = max(1, -(-horizon // _POWER_BINS))
+    bins = -(-horizon // bin_ps)
+    for component in sorted(deltas):
+        fj_per_bin = [0] * bins
+        for t_ps, fj in deltas[component]:
+            fj_per_bin[min(t_ps // bin_ps, bins - 1)] += fj
+        for index, fj in enumerate(fj_per_bin):
+            events.append({
+                "name": f"power.{component}", "cat": "power", "ph": "C",
+                "pid": pid, "tid": 0, "ts": _us(index * bin_ps),
+                "args": {"mW": fj / bin_ps},
+            })
+    return events
+
+
+def trace_events(recorders, accountants=None) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` list for one or more span recorders.
+
+    ``accountants`` (optional) is a parallel list of
+    :class:`~repro.obs.energy.EnergyAccountant` objects (or ``None``
+    placeholders), index-aligned with ``recorders``: each contributes
+    power counter tracks to its simulator's process, and per-transaction
+    energy to the span ``args`` when it tracked transactions.
+    """
     events: List[Dict[str, Any]] = []
     for pid, recorder in enumerate(recorders, start=1):
+        accountant = None
+        if accountants is not None and pid - 1 < len(accountants):
+            accountant = accountants[pid - 1]
         events.append({
             "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
             "args": {"name": f"simulator{pid}"},
@@ -64,6 +108,10 @@ def trace_events(recorders) -> List[Dict[str, Any]]:
                 args["parent"] = getattr(parent, "tid", parent)
             if txn.posted:
                 args["posted"] = True
+            if accountant is not None:
+                energy_pj = accountant.txn_pj(txn.tid)
+                if energy_pj is not None:
+                    args["energy_pj"] = energy_pj
             for span in spans:
                 events.append({
                     "name": span.name, "cat": "txn", "ph": "X",
@@ -77,21 +125,23 @@ def trace_events(recorders) -> List[Dict[str, Any]]:
                     "pid": pid, "tid": track, "ts": _us(instant.time_ps),
                     "s": "t", "args": {"tid": txn.tid},
                 })
+        if accountant is not None:
+            events.extend(_power_counter_events(pid, accountant))
     return events
 
 
-def to_trace_json(recorders) -> Dict[str, Any]:
+def to_trace_json(recorders, accountants=None) -> Dict[str, Any]:
     """The full JSON-object-format trace document."""
     return {
-        "traceEvents": trace_events(recorders),
+        "traceEvents": trace_events(recorders, accountants),
         "displayTimeUnit": "ns",
         "otherData": {"source": "repro.obs", "time_unit": "us"},
     }
 
 
-def write_trace(path: str, recorders) -> int:
+def write_trace(path: str, recorders, accountants=None) -> int:
     """Write a Perfetto-loadable trace file; returns the span-event count."""
-    document = to_trace_json(recorders)
+    document = to_trace_json(recorders, accountants)
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1)
         handle.write("\n")

@@ -206,6 +206,10 @@ class MetricRegistry:
             rows[f"{path}.high_water"] = float(fifo.high_water)
             rows[f"{path}.mean_occupancy"] = fifo.mean_occupancy(until_ps)
             self._flatten(rows, f"{path}.wait", metric.wait, until_ps)
+        elif hasattr(metric, "rows") and callable(metric.rows):
+            # Self-flattening composites (the energy accountant): the
+            # metric decides its own row names, already fully qualified.
+            rows.update(metric.rows())
         else:
             value = getattr(metric, "value", None)
             if isinstance(value, (int, float)):

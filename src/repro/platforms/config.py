@@ -27,6 +27,7 @@ from typing import List, Optional, Tuple
 from ..interconnect.types import StbusType
 from ..memory.lmi import LmiConfig
 from ..memory.timing import DDR_SDRAM, SdramTiming
+from ..obs.energy import EnergyConfig
 
 #: Base address and span of the unified memory (all traffic targets it).
 MEMORY_BASE = 0x8000_0000
@@ -193,6 +194,11 @@ class PlatformConfig:
     #: shared bus.  With the memory-centric many-to-one pattern this buys
     #: nothing (guideline 2) — which the tests assert.
     central_crossbar: bool = False
+    #: Energy-model coefficient block (``repro.obs.energy``).  Disabled by
+    #: default: no accountant is attached and the taps stay dormant.  Part
+    #: of the configuration document, so energy coefficients participate
+    #: in sweep cache keys and checkpoint digests like every other knob.
+    energy: EnergyConfig = field(default_factory=EnergyConfig)
     seed: int = 1
 
     def __post_init__(self) -> None:

@@ -34,7 +34,8 @@ from typing import Any, Dict, Union
 
 from ..interconnect.types import StbusType
 from ..memory.lmi import LmiConfig
-from ..memory.timing import TIMING_PRESETS, SdramTiming
+from ..memory.timing import ENERGY_PRESETS, TIMING_PRESETS, SdramEnergy, SdramTiming
+from ..obs.energy import EnergyConfig
 from .config import (
     ClusterSpec,
     CpuConfig,
@@ -94,6 +95,21 @@ def _memory_from_dict(data: Dict[str, Any]) -> MemoryConfig:
     return MemoryConfig(**_take(payload, MemoryConfig, "memory"))
 
 
+def _energy_from_dict(data: Dict[str, Any]) -> EnergyConfig:
+    payload = dict(data)
+    if "sdram" in payload:
+        sdram = payload["sdram"]
+        if isinstance(sdram, str):
+            if sdram not in ENERGY_PRESETS:
+                raise ConfigError(f"energy.sdram: unknown preset {sdram!r}; "
+                                  f"choose from {sorted(ENERGY_PRESETS)}")
+            payload["sdram"] = ENERGY_PRESETS[sdram]
+        else:
+            payload["sdram"] = SdramEnergy(**_take(dict(sdram), SdramEnergy,
+                                                   "energy.sdram"))
+    return EnergyConfig(**_take(payload, EnergyConfig, "energy"))
+
+
 def config_from_dict(document: Dict[str, Any]) -> PlatformConfig:
     """Build a :class:`PlatformConfig` from a parsed JSON document."""
     payload = dict(document)
@@ -102,6 +118,8 @@ def config_from_dict(document: Dict[str, Any]) -> PlatformConfig:
                                     for c in payload["clusters"])
     if "memory" in payload:
         payload["memory"] = _memory_from_dict(payload["memory"])
+    if "energy" in payload:
+        payload["energy"] = _energy_from_dict(payload["energy"])
     if "cpu" in payload:
         payload["cpu"] = CpuConfig(**_take(dict(payload["cpu"]), CpuConfig,
                                            "cpu"))

@@ -78,6 +78,14 @@ class PlatformInstance(Component):
         # simulator that already ran.
         if config.resolution != sim.resolution:
             sim.set_resolution(config.resolution)
+        # Energy accounting attaches before _build() so every component
+        # captures the accountant at construction (select-once discipline).
+        # A capture()-installed accountant takes the platform's coefficient
+        # block; otherwise the config decides whether one exists at all.
+        if config.energy.enabled or sim._energy is not None:
+            from ..obs.energy import attach_energy
+            attach_energy(sim, config.energy if config.energy.enabled
+                          else None)
         self.config = config
         self.fabrics: Dict[str, Fabric] = {}
         self.bridges: List = []
@@ -376,10 +384,22 @@ class PlatformInstance(Component):
             extra["lmi_activates"] = float(device.activates.value)
             extra["lmi_rw_commands"] = float(device.reads.value
                                              + device.writes.value)
+        finish_ps = (self._finish_ps if self._finish_ps is not None
+                     else self.sim.now)
+        energy_pj: Dict[str, float] = {}
+        energy_total_pj = 0.0
+        accountant = self.sim._energy
+        if accountant is not None:
+            # Close open-row intervals and integrate background power up
+            # to the finish instant (idempotent: safe to call result()
+            # twice, or after metrics_snapshot already finalised).
+            accountant.finalize(finish_ps)
+            energy_pj = accountant.component_pj()
+            energy_total_pj = accountant.total_pj
         return summarize_transactions(
-            self.config.label(),
-            self._finish_ps if self._finish_ps is not None else self.sim.now,
-            transactions, utilization=utilization, extra=extra)
+            self.config.label(), finish_ps,
+            transactions, utilization=utilization, extra=extra,
+            energy_pj=energy_pj, energy_total_pj=energy_total_pj)
 
 
 def build_platform(sim: Simulator, config: PlatformConfig) -> PlatformInstance:

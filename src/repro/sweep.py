@@ -78,7 +78,9 @@ DEFAULT_MAX_PS = 20_000_000_000_000
 
 #: Bumped whenever the cache entry schema (or simulation semantics that
 #: invalidate old entries) change; part of every cache key.
-CACHE_SCHEMA = 1
+#: 2: RunResult grew energy fields (energy_pj, energy_total_pj) and the
+#: configuration document grew the ``energy`` coefficient block.
+CACHE_SCHEMA = 2
 
 
 class SweepError(RuntimeError):

@@ -19,14 +19,18 @@ def test_run_benchmarks_tiny_scale():
     results = bench.run_benchmarks(repeats=1, scale=0.02)
     assert set(results) == set(bench.SCENARIOS)
     for name, row in results.items():
-        assert set(row) == {"wall_s", "events", "events_per_sec",
-                            "sim_time_ps", "mode"}, name
+        expected = {"wall_s", "events", "events_per_sec",
+                    "sim_time_ps", "mode"}
+        if name == "platform_run":  # carries the energy stamp
+            expected.add("energy_pj")
+        assert set(row) == expected, name
         assert row["mode"] == "ca", name
         assert row["events"] > 0, name
         assert row["wall_s"] > 0, name
         assert row["events_per_sec"] == pytest.approx(
             row["events"] / row["wall_s"]), name
         assert row["sim_time_ps"] >= 0, name
+    assert results["platform_run"]["energy_pj"] > 0
 
 
 @pytest.mark.bench_smoke

@@ -12,6 +12,8 @@ marker exists so CI can select just this tier the way it selects
 ``bench_smoke``.
 """
 
+import dataclasses
+
 import pytest
 
 from repro.check import CheckedRun, checked, format_report, random_config
@@ -37,6 +39,29 @@ def test_reference_platform_checked_run_is_clean():
     assert checker.bridges, "no bridge registered with the checker"
     assert checker._grants, "no grants observed"
     assert checker._accepts, "no acceptances observed"
+
+
+@pytest.mark.check_smoke
+def test_energy_accounted_checked_run_is_clean_and_conserves():
+    """Energy accounting rides the same hook sites the monitors watch;
+    a fully instrumented run (checkers + accountant together) must stay
+    violation-free and the component ledger must sum to the reported
+    total exactly (integer femtojoules — no floating-point residue)."""
+    base = PlatformConfig()
+    config = base.scaled(
+        energy=dataclasses.replace(base.energy, enabled=True))
+    with checked() as session:
+        sim = Simulator()
+        platform = build_platform(sim, config)
+        result = platform.run()
+    violations = session.finalize()
+    assert violations == [], format_report(violations, limit=20)
+    accountant = sim._energy
+    assert accountant is not None and accountant.finalized
+    assert sum(accountant.component_fj().values()) == accountant.total_fj
+    assert result.energy_total_pj > 0
+    assert abs(sum(result.energy_pj.values())
+               - result.energy_total_pj) < 1e-6
 
 
 @pytest.mark.check_smoke

@@ -31,7 +31,8 @@ _CONSTANT = re.compile(r"`([A-Z][A-Z0-9_]*)\s*=\s*([0-9.]+)`")
 
 #: Every bound the contract publishes must appear in the document.
 _REQUIRED_CONSTANTS = ("EXECUTION_TIME_DRIFT", "LATENCY_DRIFT",
-                      "UTILIZATION_ABS_DRIFT", "MIN_EVENT_SPEEDUP")
+                      "UTILIZATION_ABS_DRIFT", "ENERGY_DRIFT",
+                      "MIN_EVENT_SPEEDUP")
 
 
 def test_fast_sim_constants_match_code():

@@ -35,6 +35,34 @@ class TestResultsCsv:
         assert rows[1]["extra.merges"] == ""  # missing cell stays empty
         assert rows[0]["util.central.response"] == "0.5"
 
+    def test_energy_columns_round_trip(self, tmp_path):
+        path = tmp_path / "results.csv"
+        with_energy = RunResult(
+            label="e", execution_time_ps=2000, transactions=4,
+            bytes_transferred=200,
+            energy_pj={"central": 150.0, "mem": 350.0},
+            energy_total_pj=500.0)
+        results_to_csv(path, [with_energy, _result("plain", 1000)])
+        rows = list(csv.DictReader(path.open()))
+        assert float(rows[0]["energy_total_pj"]) == 500.0
+        assert float(rows[0]["pj_per_byte"]) == pytest.approx(2.5)
+        assert float(rows[0]["energy.central"]) == 150.0
+        assert float(rows[0]["energy.mem"]) == 350.0
+        # Energy-less results share the file; their cells stay empty/zero.
+        assert rows[1]["energy.central"] == ""
+        assert float(rows[1]["energy_total_pj"]) == 0.0
+        assert float(rows[1]["pj_per_byte"]) == 0.0
+
+    def test_zero_byte_result_reports_zero_pj_per_byte(self, tmp_path):
+        """The pJ/byte column must not divide by a zero-traffic run."""
+        path = tmp_path / "results.csv"
+        empty = RunResult(label="idle", execution_time_ps=0,
+                          transactions=0, bytes_transferred=0,
+                          energy_total_pj=42.0)
+        results_to_csv(path, [empty])
+        rows = list(csv.DictReader(path.open()))
+        assert float(rows[0]["pj_per_byte"]) == 0.0
+
 
 class TestTransactionsCsv:
     def test_lifecycle_columns(self, sim, tmp_path):

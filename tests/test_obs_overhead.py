@@ -109,6 +109,39 @@ def test_checks_disabled_throughput_not_collapsed(baseline):
 
 
 @pytest.mark.bench_smoke
+@pytest.mark.parametrize("scenario", GUARDED)
+def test_energy_disabled_matches_baseline_event_counts(baseline, scenario):
+    """The energy taps must not perturb the disabled path: with no
+    accountant attached, ``sim._energy`` stays ``None`` and every tap is
+    a dormant attribute test — event counts stay pinned to the PR 1
+    baseline exactly like the tracing and checking hooks."""
+    from repro.core import kernel as _kernel
+
+    assert not _kernel._new_sim_hooks, "a stray session hook is installed"
+    events, sim_time = bench.SCENARIOS[scenario](1.0)
+    assert events == baseline[scenario]["events"], (
+        f"{scenario}: event count drifted from BENCH_kernel.json — "
+        "an energy tap is perturbing the disabled path")
+    assert sim_time == baseline[scenario]["sim_time_ps"]
+
+
+@pytest.mark.bench_smoke
+def test_energy_capture_only_adds_observation_not_events():
+    """With the accountant *attached* the simulation must still be
+    identical — charges are integer adds on existing events, the
+    accountant never schedules anything of its own."""
+    from repro.obs import capture
+
+    plain = bench.SCENARIOS["platform_run"](1.0)
+    with capture(energy=True) as cap:
+        accounted = bench.SCENARIOS["platform_run"](1.0)
+    assert accounted == plain
+    assert any(accountant is not None and accountant.total_fj > 0
+               for accountant in cap.accountants), (
+        "energy capture recorded no charges")
+
+
+@pytest.mark.bench_smoke
 def test_checked_run_only_adds_observation_not_events():
     """With monitors *enabled* the simulation must still be identical —
     checkers record grants/accepts/beats, they never schedule events."""

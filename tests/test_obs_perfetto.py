@@ -8,7 +8,7 @@ from repro.obs import capture, to_trace_json
 from .helpers import add_memory, make_node, read, run_transactions, write
 
 #: Phase codes this exporter may legally emit (trace_event spec subset).
-_ALLOWED_PHASES = {"X", "i", "M"}
+_ALLOWED_PHASES = {"X", "i", "M", "C"}
 
 
 def validate_trace_document(document):
@@ -27,13 +27,20 @@ def validate_trace_document(document):
         elif event["ph"] == "i":
             assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
             assert event["s"] in ("g", "p", "t")
+        elif event["ph"] == "C":  # power counter track
+            assert isinstance(event["ts"], (int, float)) and event["ts"] >= 0
+            assert event["cat"] == "power"
+            assert event["name"].startswith("power.")
+            assert isinstance(event["args"], dict)
+            assert isinstance(event["args"]["mW"], (int, float))
+            assert event["args"]["mW"] >= 0
         else:  # metadata
             assert event["name"] in ("process_name", "thread_name")
             assert isinstance(event["args"]["name"], str)
 
 
-def traced_run(transactions):
-    with capture() as cap:
+def traced_run(transactions, energy=False):
+    with capture(energy=energy) as cap:
         sim = Simulator()
         node = make_node(sim)
         add_memory(sim, node)
@@ -107,6 +114,41 @@ class TestTraceDocument:
                          and event["name"] == "process_name"}
         assert process_names == {"simulator1", "simulator2"}
         validate_trace_document(document)
+
+
+class TestPowerCounters:
+    def test_energy_capture_emits_power_counter_tracks(self):
+        cap = traced_run([read(i * 64) for i in range(4)], energy=True)
+        document = cap.to_trace_json()
+        validate_trace_document(document)
+        counters = [event for event in document["traceEvents"]
+                    if event["ph"] == "C"]
+        assert counters, "energy capture produced no power counter events"
+        # One track per charged component, every sample non-negative.
+        accountant = cap.accountants[0]
+        charged = set(accountant.component_fj())
+        tracks = {event["name"] for event in counters}
+        assert tracks == {f"power.{name}" for name in charged}
+
+    def test_spans_carry_per_transaction_energy(self):
+        cap = traced_run([read(0x0, beats=8)], energy=True)
+        document = cap.to_trace_json()
+        spans = [event for event in document["traceEvents"]
+                 if event["ph"] == "X"]
+        assert spans
+        for event in spans:
+            assert event["args"]["energy_pj"] > 0
+
+    def test_plain_capture_has_no_counter_events(self):
+        cap = traced_run([read(0x0)])
+        document = cap.to_trace_json()
+        assert not [event for event in document["traceEvents"]
+                    if event["ph"] == "C"]
+
+    def test_energy_document_is_json_serialisable(self):
+        cap = traced_run([read(i * 64) for i in range(3)], energy=True)
+        text = json.dumps(cap.to_trace_json())
+        assert json.loads(text)["traceEvents"]
 
 
 class TestWriteTrace:

@@ -1,7 +1,26 @@
-"""Bridges: lightweight hybrid bridges (Fig. 2) and STBus GenConv."""
+"""Bridges: lightweight hybrid bridges (Fig. 2), STBus GenConv, and the
+registry-derived N x N bridge matrix (:mod:`repro.bridge.matrix`)."""
 
 from .base import BridgeBase
 from .genconv import GenConvBridge
 from .lightweight import LightweightBridge
+from .matrix import (
+    BridgePlan,
+    ConversionStep,
+    bridge_matrix,
+    conversion_plan,
+    make_bridge,
+    validate_bridge_pair,
+)
 
-__all__ = ["BridgeBase", "GenConvBridge", "LightweightBridge"]
+__all__ = [
+    "BridgeBase",
+    "BridgePlan",
+    "ConversionStep",
+    "GenConvBridge",
+    "LightweightBridge",
+    "bridge_matrix",
+    "conversion_plan",
+    "make_bridge",
+    "validate_bridge_pair",
+]

@@ -71,6 +71,11 @@ class BridgeBase(Component):
         self._energy = sim._energy
         self._e_beat = 0 if self._energy is None else \
             _fj(self._energy.config.bridge_pj_per_beat)
+        #: Message-grouping survival, resolved once (select-once
+        #: discipline): subclass policy AND a source that delivers
+        #: message packets contiguously.
+        self._messages_survive = (self.preserve_messages
+                                  and self._source_keeps_messages())
 
     # ------------------------------------------------------------------
     @property
@@ -84,10 +89,27 @@ class BridgeBase(Component):
             yield clock.edges(self.crossing_cycles)
 
     #: Whether message grouping survives the crossing.  Only safe when the
-    #: source fabric delivers message packets contiguously (STBus nodes with
-    #: message arbitration do; AHB/AXI interleave freely, and forwarding the
-    #: grouping would dead-lock the destination's message lock).
+    #: source fabric delivers message packets contiguously (STBus-family
+    #: fabrics with message arbitration do — the shared node *and* the
+    #: crossbar, whose per-target ``MessageArbiter`` keeps packets
+    #: together; AHB/AXI interleave freely, and forwarding the grouping
+    #: would dead-lock the destination's message lock).
     preserve_messages = False
+
+    def _source_keeps_messages(self) -> bool:
+        """Resolved through the protocol registry so every STBus-family
+        source qualifies.  The old hand-coded test compared the protocol
+        label against ``"stbus"`` exactly, which silently stripped message
+        grouping when the source was an STBus *crossbar* (label
+        ``"stbus-xbar"``) — the one asymmetry the derived bridge matrix
+        flushed out of the hand-written pairings."""
+        from ..interconnect.protocols import spec_for_fabric
+
+        try:
+            spec = spec_for_fabric(self.source)
+        except ValueError:  # pragma: no cover - unregistered custom fabric
+            return False
+        return spec.family == "stbus"
 
     def make_child(self, txn: Transaction) -> Transaction:
         """Re-issue ``txn`` at the destination data width.
@@ -98,7 +120,7 @@ class BridgeBase(Component):
         width = self.dest.data_width_bytes
         beats = max(1, -(-txn.total_bytes // width))
         child = txn.child(beats=beats, beat_bytes=width)
-        if not (self.preserve_messages and self.source.protocol == "stbus"):
+        if not self._messages_survive:
             child.message_id = None
             child.message_last = True
         child.meta["bridge"] = self.name

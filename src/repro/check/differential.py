@@ -149,7 +149,9 @@ def random_config(seed: int) -> PlatformConfig:
     runs in milliseconds.
     """
     rng = random.Random(seed)
-    protocol = rng.choice(["stbus", "stbus", "ahb", "axi"])
+    protocol = rng.choice(["stbus", "stbus", "ahb", "axi",
+                           "wishbone", "apb", "axi4lite", "avalon",
+                           "tilelink"])
     topology = rng.choice(["distributed", "collapsed"])
 
     clusters = []

@@ -26,6 +26,11 @@ Rule catalogue (see ``docs/CORRECTNESS.md``): ``lifecycle.*``,
 ``ahb.serialization`` / ``ahb.pipelining`` / ``ahb.nonposted`` /
 ``ahb.data_order``, ``axi.handshake`` / ``axi.id_order``,
 ``bridge.conservation``, ``fifo.*``, ``obs.span_tiling``, ``sdram.*``.
+Registry-served generic fabrics (wishbone, apb, axi4lite, avalon,
+tilelink) get ``<protocol>.pairing`` / ``<protocol>.serialization`` /
+``<protocol>.posted_write`` / ``<protocol>.nonposted`` derived from their
+:class:`~repro.interconnect.protocols.ProtocolSpec`, plus the per-spec
+beat-ordering rule listed in ``_BEAT_RULE``.
 """
 
 from __future__ import annotations
@@ -48,7 +53,23 @@ _BEAT_RULE = {
     "stbus": "stbus.packet_order",
     "stbus-xbar": "stbus.packet_order",
     "ahb": "ahb.data_order",
+    "tlm": "tlm.completion_order",
+    "wishbone": "wishbone.ack_order",
+    "apb": "apb.access_order",
+    "axi4lite": "axi4lite.channel_order",
+    "avalon": "avalon.readdata_order",
+    "tilelink": "tilelink.d_order",
 }
+
+
+def covered_protocols() -> frozenset:
+    """Protocol labels the checker has a beat-ordering rule for.
+
+    The registry-completeness lint (:mod:`repro.check.registry_lint`)
+    cross-references this against the declarative protocol registry so a
+    new fabric cannot ship without monitor coverage.
+    """
+    return frozenset(_BEAT_RULE)
 
 
 class SimChecker:
@@ -156,7 +177,10 @@ class SimChecker:
             self._check_lifecycle(port, txns, expect_drained, found)
             self._check_source_order(port, txns, found)
         for fabric in self.fabrics:
-            if fabric.protocol == "stbus":
+            spec = getattr(fabric, "spec", None)
+            if spec is not None:
+                self._check_generic(fabric, spec, expect_drained, found)
+            elif fabric.protocol == "stbus":
                 self._check_stbus(fabric, expect_drained, found)
             elif fabric.protocol == "ahb":
                 self._check_ahb(fabric, expect_drained, found)
@@ -355,6 +379,60 @@ class SimChecker:
                                 f"its B response could follow acceptance "
                                 f"({txn.t_accepted}ps)", txn=txn))
 
+    # -- registry-served generic fabrics ---------------------------------
+    def _check_generic(self, fabric, spec, expect_drained: bool,
+                       found: List[Violation]) -> None:
+        """Spec-derived post-run checks for :class:`GenericFabric`.
+
+        The rules mirror the hand-written per-protocol passes, but every
+        behavioural toggle comes from the :class:`ProtocolSpec` entry:
+        request/acceptance pairing always holds; non-split specs must
+        serialize transactions end to end; write completion semantics
+        follow ``spec.posted_writes``.
+        """
+        name = spec.name
+        self._check_pairing(fabric, f"{name}.pairing", expect_drained, found)
+        if not spec.split:
+            previous = None
+            for _port, txn in self._grants.get(fabric, []):
+                if previous is not None and (
+                        previous.t_done is None
+                        or txn.t_granted < previous.t_done):
+                    found.append(Violation(
+                        component=fabric.name, time_ps=txn.t_granted,
+                        rule=f"{name}.serialization",
+                        message=f"txn {txn.tid} granted at {txn.t_granted}ps "
+                                f"while txn {previous.tid} (done="
+                                f"{previous.t_done}) still held the fabric",
+                        txn=txn))
+                previous = txn
+        for txn in self._accepts.get(fabric, []):
+            if not txn.is_write:
+                continue
+            needs_ack = txn.meta.get("needs_ack")
+            if not spec.posted_writes and not needs_ack:
+                found.append(Violation(
+                    component=fabric.name, time_ps=txn.t_accepted or 0,
+                    rule=f"{name}.nonposted",
+                    message="write accepted without the non-posted "
+                            "acknowledgement the protocol requires",
+                    txn=txn))
+                continue
+            if needs_ack is False and txn.t_done != txn.t_accepted:
+                found.append(Violation(
+                    component=fabric.name, time_ps=txn.t_accepted,
+                    rule=f"{name}.posted_write",
+                    message=f"posted write completed at {txn.t_done}ps, not "
+                            f"at acceptance ({txn.t_accepted}ps)", txn=txn))
+            if needs_ack and txn.t_done is not None \
+                    and txn.t_done <= txn.t_accepted:
+                found.append(Violation(
+                    component=fabric.name, time_ps=txn.t_done,
+                    rule=f"{name}.nonposted",
+                    message=f"non-posted write completed at {txn.t_done}ps "
+                            f"without waiting for the acknowledgement "
+                            f"(accepted {txn.t_accepted}ps)", txn=txn))
+
     # -- bridges ----------------------------------------------------------
     def _check_bridge(self, bridge, expect_drained: bool,
                       found: List[Violation]) -> None:
@@ -439,4 +517,4 @@ class SimChecker:
                     rule="obs.span_tiling", message=defect, txn=txn))
 
 
-__all__ = ["SimChecker"]
+__all__ = ["SimChecker", "covered_protocols"]

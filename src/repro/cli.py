@@ -12,6 +12,8 @@
     python -m repro stats fig6 --json out.json   # flat metric dump
     python -m repro stats fig5 --energy          # + per-component energy
     python -m repro stats my_platform.json --energy  # config files work too
+    python -m repro protocols                    # bus-protocol registry table
+    python -m repro protocols --plan axi apb     # derived bridge conversion plan
     python -m repro bench                        # kernel perf -> BENCH_kernel.json
     python -m repro check fig5 --strict          # run under invariant monitors
     python -m repro check my_platform.json --diff # + fast-vs-reference diff
@@ -553,6 +555,52 @@ def cmd_snapshot(args) -> int:
     return 2
 
 
+def cmd_protocols(args) -> int:
+    """Inspect the protocol registry and the derived bridge matrix.
+
+    ``repro protocols``                 registry table
+    ``repro protocols --matrix``        every derived conversion plan
+    ``repro protocols --plan SRC DST``  one pairing's plan (validated)
+    """
+    from .bridge.matrix import bridge_matrix, conversion_plan
+    from .interconnect.protocols import PROTOCOLS
+    from .platforms.loader import ConfigError
+
+    if args.plan:
+        source, dest = args.plan
+        try:
+            plan = conversion_plan(source, dest)
+        except ConfigError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(plan.describe())
+        return 0
+    if args.matrix:
+        matrix = bridge_matrix()
+        for key in sorted(matrix):
+            print(matrix[key].describe())
+        print(f"\n{len(matrix)} derived pairings")
+        return 0
+    rows = []
+    for name in sorted(PROTOCOLS):
+        spec = PROTOCOLS[name]
+        caps = [flag for flag, on in (
+            ("split", spec.split), ("posted", spec.posted_writes),
+            ("pipelined", spec.pipelined),
+            ("interleave", spec.response_interleave)) if on]
+        if spec.max_burst_beats == 1:
+            caps.append("single-beat")
+        rows.append([name, spec.title, spec.family, spec.engine,
+                     spec.platform_key or "-",
+                     ",".join(caps) or "-"])
+    print(format_table(
+        ["protocol", "title", "family", "engine", "platform", "semantics"],
+        rows))
+    print(f"\n{len(rows)} registered protocols "
+          "(see docs/PROTOCOLS.md to add one)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     from . import bench
 
@@ -728,6 +776,17 @@ def build_parser() -> argparse.ArgumentParser:
                              help="checkpoint file or directory for 'take' "
                                   "(default ./checkpoints)")
     snap_parser.set_defaults(func=cmd_snapshot)
+
+    proto_parser = sub.add_parser(
+        "protocols", help="show the bus-protocol registry and the derived "
+                          "bridge matrix")
+    proto_parser.add_argument("--matrix", action="store_true",
+                              help="print every derived source->dest "
+                                   "conversion plan")
+    proto_parser.add_argument("--plan", nargs=2, metavar=("SRC", "DST"),
+                              help="print the derived plan for one pairing "
+                                   "(validated against the registry)")
+    proto_parser.set_defaults(func=cmd_protocols)
 
     bench_parser = sub.add_parser(
         "bench", help="run the kernel performance scenarios and write "

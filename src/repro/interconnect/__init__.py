@@ -1,4 +1,10 @@
-"""Interconnect fabric models: STBus, AMBA AHB, AMBA AXI, and arbitration."""
+"""Interconnect fabric models and the declarative protocol registry.
+
+Hand-written engines (STBus, AMBA AHB, AMBA AXI, the analytic TLM tier)
+plus :class:`GenericFabric`, a shared engine that elaborates any
+registered :class:`ProtocolSpec` (Wishbone, APB, AXI4-Lite, Avalon-MM,
+TileLink-UL ship as pure spec entries — see docs/PROTOCOLS.md).
+"""
 
 from .arbiter import (
     Arbiter,
@@ -14,6 +20,17 @@ from .ahb import AhbLayer
 from .axi import AxiFabric
 from .base import Fabric, FabricError, InitiatorPort, TargetPort
 from .crossbar import StbusCrossbar
+from .generic import GenericFabric
+from .protocols import (
+    PROTOCOLS,
+    ProtocolSpec,
+    bridgeable_specs,
+    generic_specs,
+    get_spec,
+    platform_protocols,
+    register_protocol,
+    spec_for_fabric,
+)
 from .stbus import StbusNode, StbusTargetInterface
 from .types import (
     AddressRange,
@@ -33,12 +50,15 @@ __all__ = [
     "Fabric",
     "FabricError",
     "FixedPriority",
+    "GenericFabric",
     "InitiatorPort",
     "LeastRecentlyGranted",
     "MessageArbiter",
     "MessageLockStall",
     "Opcode",
+    "PROTOCOLS",
     "ProtocolKind",
+    "ProtocolSpec",
     "ResponseBeat",
     "RoundRobin",
     "StbusCrossbar",
@@ -48,6 +68,12 @@ __all__ = [
     "TargetPort",
     "Transaction",
     "WeightedLottery",
+    "bridgeable_specs",
+    "generic_specs",
+    "get_spec",
     "make_arbiter",
     "make_message",
+    "platform_protocols",
+    "register_protocol",
+    "spec_for_fabric",
 ]

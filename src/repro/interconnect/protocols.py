@@ -1,0 +1,415 @@
+"""Declarative protocol registry.
+
+The bus layer grew as seven hand-written fabric/bridge classes; what
+actually distinguishes the protocols is a small table of handshake,
+burst, posted-write and split semantics — the observation behind
+bus-interface signal tables like processor_ci_connector's ``PROTOCOLS``
+(see SNIPPETS.md) and the Samsung cycle-count-accurate AMBA TLM work.
+This module makes that table explicit: a :class:`ProtocolSpec` per
+protocol, a registry keyed by spec name, and lookup helpers used by
+
+* :mod:`repro.interconnect.generic` — a shared engine that turns a pure
+  spec entry into a runnable fabric (Wishbone, APB, AXI4-Lite, Avalon,
+  TileLink-UL ship this way; adding another protocol is ~50 lines of
+  table, see docs/PROTOCOLS.md),
+* :mod:`repro.bridge.matrix` — the derived N x N bridge matrix
+  (spec diff -> store-and-forward conversion plan),
+* :mod:`repro.platforms` — configuration validation and elaboration,
+* :mod:`repro.check` / :mod:`repro.obs.energy` — monitor rule ids and
+  per-beat energy coefficients, cross-checked by the
+  registry-completeness lint (:mod:`repro.check.registry_lint`).
+
+The five legacy fabrics (STBus T1/T2/T3 as one hand-written engine,
+AHB, AXI, TLM) are *re-expressed* as registry entries whose ``engine``
+field points at the existing classes — their timing code is untouched,
+which is what keeps the golden corpus bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+#: One bus-interface signal: ``(name, min_bits, max_bits)`` — the
+#: processor_ci_connector table idiom.  Width-parameterised signals
+#: (data paths, byte strobes) span a range; control wires pin both ends.
+Signal = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """Everything the generic engine, bridge matrix, monitors and energy
+    model need to know about one bus protocol.
+
+    ``engine`` selects the timing model: ``"stbus"`` / ``"ahb"`` /
+    ``"axi"`` / ``"tlm"`` keep the hand-written classes; ``"generic"``
+    runs :class:`~repro.interconnect.generic.GenericFabric`, which is
+    parameterised entirely by this spec.
+    """
+
+    #: Registry key; also the ``Fabric.protocol`` label of generic
+    #: fabrics (legacy engines keep their historical labels).
+    name: str
+    #: Human-readable protocol name for docs and CLI tables.
+    title: str
+    #: Protocol family ("stbus", "amba", "open").
+    family: str
+    #: Timing engine: "stbus" | "ahb" | "axi" | "tlm" | "generic".
+    engine: str
+    #: ``PlatformConfig.protocol`` value that elaborates this spec
+    #: (``None`` for specs not selectable as a platform protocol —
+    #: the TLM tier is chosen via ``abstraction="tlm"`` instead).
+    platform_key: Optional[str]
+    #: Bus-interface signal table, initiator perspective.
+    signals: Tuple[Signal, ...]
+    #: Physical/logical channels the protocol multiplexes traffic over.
+    channels: Tuple[str, ...]
+    #: Handshake style, e.g. "req/gnt", "valid/ready", "cyc/stb/ack".
+    handshake: str
+    #: Split transactions: the request path frees during target latency.
+    split: bool
+    #: Posted writes may complete at target acceptance.
+    posted_writes: bool
+    #: Address phase may overlap the previous data phase.
+    pipelined: bool
+    #: More than one transaction in flight on the fabric at once.
+    multi_outstanding: bool
+    #: Response beats of different packets may interleave.
+    response_interleave: bool
+    #: Longest burst one transfer may carry (0 = unbounded; 1 = a
+    #: single-beat protocol — bursts are serialised into transfers).
+    max_burst_beats: int
+    #: Per-transfer request-phase overhead cycles (APB SETUP phase,
+    #: Wishbone cycle assertion).
+    setup_cycles: int = 0
+    #: Per-beat response handshake overhead cycles (classic Wishbone
+    #: ack turnaround).
+    resp_overhead_cycles: int = 0
+    #: ``EnergyConfig`` field holding this protocol's pJ-per-beat
+    #: coefficient (the completeness lint verifies the field exists).
+    energy_coefficient: str = "stbus_t2_pj_per_beat"
+    #: Rule id the checker attaches to beat-ordering violations (must
+    #: agree with ``repro.check.monitors``; the lint verifies).
+    beat_rule: str = "fabric.beat_order"
+    #: May this protocol terminate a bridge?  The TLM tier opts out:
+    #: its node serves analytic service models and never drains a
+    #: bridge's target-side FIFO.
+    bridgeable: bool = True
+    #: One-line rationale / reference for docs.
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if self.engine not in ("stbus", "ahb", "axi", "tlm", "generic"):
+            raise ValueError(f"unknown engine {self.engine!r}")
+        if self.max_burst_beats < 0:
+            raise ValueError("max_burst_beats must be >= 0")
+        if self.setup_cycles < 0 or self.resp_overhead_cycles < 0:
+            raise ValueError("cycle overheads must be >= 0")
+
+    @property
+    def fabric_label(self) -> str:
+        """The ``Fabric.protocol`` label instances of this spec carry.
+
+        Legacy engines keep their historical labels (all three STBus
+        types report ``"stbus"``); generic fabrics use the spec name.
+        """
+        if self.engine == "generic":
+            return self.name
+        return {"stbus": "stbus", "ahb": "ahb",
+                "axi": "axi", "tlm": "tlm"}[self.engine]
+
+    @property
+    def single_beat(self) -> bool:
+        """Bursts must be serialised into one-beat transfers."""
+        return self.max_burst_beats == 1
+
+
+#: The registry.  Ordered: legacy engines first, generic entries after.
+PROTOCOLS: Dict[str, ProtocolSpec] = {}
+
+
+def register_protocol(spec: ProtocolSpec) -> ProtocolSpec:
+    """Add ``spec`` to the registry (name must be unused)."""
+    if spec.name in PROTOCOLS:
+        raise ValueError(f"protocol {spec.name!r} already registered")
+    PROTOCOLS[spec.name] = spec
+    return spec
+
+
+def get_spec(name: str) -> ProtocolSpec:
+    """Look up a registered protocol by name."""
+    try:
+        return PROTOCOLS[name]
+    except KeyError:
+        raise ValueError(f"unknown protocol {name!r}; registered: "
+                         f"{sorted(PROTOCOLS)}") from None
+
+
+def spec_for_fabric(fabric) -> ProtocolSpec:
+    """The spec describing a live fabric instance.
+
+    Generic fabrics carry their spec directly; STBus nodes (shared-bus
+    and crossbar) resolve through ``bus_type``; the remaining legacy
+    engines resolve through their protocol label.
+    """
+    spec = getattr(fabric, "spec", None)
+    if spec is not None:
+        return spec
+    bus_type = getattr(fabric, "bus_type", None)
+    if bus_type is not None:
+        return PROTOCOLS[f"stbus_t{int(bus_type)}"]
+    protocol = getattr(fabric, "protocol", None)
+    if protocol in PROTOCOLS:
+        return PROTOCOLS[protocol]
+    raise ValueError(f"no registered spec for fabric "
+                     f"{getattr(fabric, 'name', fabric)!r} "
+                     f"(protocol {protocol!r})")
+
+
+def platform_protocols() -> Tuple[str, ...]:
+    """Valid ``PlatformConfig.protocol`` values, registry-derived."""
+    seen = []
+    for spec in PROTOCOLS.values():
+        if spec.platform_key is not None and spec.platform_key not in seen:
+            seen.append(spec.platform_key)
+    return tuple(seen)
+
+
+def generic_specs() -> Tuple[ProtocolSpec, ...]:
+    """Specs served by the shared generic engine."""
+    return tuple(s for s in PROTOCOLS.values() if s.engine == "generic")
+
+
+def bridgeable_specs() -> Tuple[ProtocolSpec, ...]:
+    """Specs that may terminate a bridge (one entry per fabric label)."""
+    out, seen = [], set()
+    for spec in PROTOCOLS.values():
+        if spec.bridgeable and spec.name not in seen:
+            out.append(spec)
+            seen.add(spec.name)
+    return tuple(out)
+
+
+def bridge_pair_unsupported(source: ProtocolSpec,
+                            dest: ProtocolSpec) -> Optional[str]:
+    """Why a ``source -> dest`` bridge cannot exist (``None`` = fine).
+
+    The port abstraction makes most pairings mechanical; the genuinely
+    nonsensical ones are bridges into or out of a non-bridgeable
+    protocol (TLM: its node never drains a bridge's target-side FIFO,
+    so the pairing silently deadlocks the first forwarded read).
+    """
+    if not source.bridgeable:
+        return (f"source protocol {source.name!r} is not bridgeable"
+                f" ({source.notes or 'no bus-level target side'})")
+    if not dest.bridgeable:
+        return (f"destination protocol {dest.name!r} is not bridgeable"
+                f" ({dest.notes or 'no bus-level initiator side'})")
+    return None
+
+
+# ---------------------------------------------------------------------------
+# signal-table shorthands
+# ---------------------------------------------------------------------------
+def _sig(name: str, lo: int, hi: Optional[int] = None) -> Signal:
+    return (name, lo, hi if hi is not None else lo)
+
+
+_STBUS_SIGNALS = (
+    _sig("req", 1), _sig("gnt", 1), _sig("opc", 8), _sig("add", 32),
+    _sig("data", 32, 128), _sig("be", 4, 16),
+    _sig("r_req", 1), _sig("r_gnt", 1), _sig("r_opc", 8),
+    _sig("r_data", 32, 128),
+)
+_STBUS_T2_EXTRA = (_sig("src", 8), _sig("tid", 8), _sig("pri", 4))
+
+_AHB_SIGNALS = (
+    _sig("hbusreq", 1), _sig("hgrant", 1), _sig("haddr", 32),
+    _sig("htrans", 2), _sig("hwrite", 1), _sig("hsize", 3),
+    _sig("hburst", 3), _sig("hwdata", 32, 64), _sig("hrdata", 32, 64),
+    _sig("hready", 1), _sig("hresp", 2),
+)
+
+_AXI_SIGNALS = (
+    _sig("arvalid", 1), _sig("arready", 1), _sig("araddr", 32),
+    _sig("arid", 4, 8), _sig("arlen", 8), _sig("arsize", 3),
+    _sig("awvalid", 1), _sig("awready", 1), _sig("awaddr", 32),
+    _sig("awid", 4, 8), _sig("awlen", 8),
+    _sig("wvalid", 1), _sig("wready", 1), _sig("wdata", 32, 128),
+    _sig("wstrb", 4, 16), _sig("wlast", 1),
+    _sig("rvalid", 1), _sig("rready", 1), _sig("rdata", 32, 128),
+    _sig("rid", 4, 8), _sig("rresp", 2), _sig("rlast", 1),
+    _sig("bvalid", 1), _sig("bready", 1), _sig("bid", 4, 8),
+    _sig("bresp", 2),
+)
+
+_WISHBONE_SIGNALS = (
+    _sig("cyc_o", 1), _sig("stb_o", 1), _sig("we_o", 1),
+    _sig("adr_o", 32), _sig("sel_o", 4, 8),
+    _sig("dat_o", 32, 64), _sig("dat_i", 32, 64),
+    _sig("ack_i", 1), _sig("err_i", 1), _sig("stall_i", 1),
+)
+
+_APB_SIGNALS = (
+    _sig("psel", 1), _sig("penable", 1), _sig("pwrite", 1),
+    _sig("paddr", 32), _sig("pwdata", 32), _sig("prdata", 32),
+    _sig("pready", 1), _sig("pslverr", 1),
+)
+
+_AXI4LITE_SIGNALS = (
+    _sig("arvalid", 1), _sig("arready", 1), _sig("araddr", 32),
+    _sig("awvalid", 1), _sig("awready", 1), _sig("awaddr", 32),
+    _sig("wvalid", 1), _sig("wready", 1), _sig("wdata", 32, 64),
+    _sig("wstrb", 4, 8),
+    _sig("rvalid", 1), _sig("rready", 1), _sig("rdata", 32, 64),
+    _sig("rresp", 2),
+    _sig("bvalid", 1), _sig("bready", 1), _sig("bresp", 2),
+)
+
+_AVALON_SIGNALS = (
+    _sig("chipselect", 1), _sig("read", 1), _sig("write", 1),
+    _sig("address", 32), _sig("byteenable", 4, 8),
+    _sig("writedata", 32, 64), _sig("readdata", 32, 64),
+    _sig("waitrequest", 1), _sig("readdatavalid", 1),
+    _sig("burstcount", 4, 8),
+)
+
+_TILELINK_SIGNALS = (
+    _sig("a_valid", 1), _sig("a_ready", 1), _sig("a_opcode", 3),
+    _sig("a_address", 32), _sig("a_size", 4), _sig("a_mask", 4, 8),
+    _sig("a_data", 32, 64),
+    _sig("d_valid", 1), _sig("d_ready", 1), _sig("d_opcode", 3),
+    _sig("d_data", 32, 64), _sig("d_error", 1),
+)
+
+
+# ---------------------------------------------------------------------------
+# legacy engines, re-expressed as registry entries
+# ---------------------------------------------------------------------------
+register_protocol(ProtocolSpec(
+    name="stbus_t1", title="STBus Type 1", family="stbus", engine="stbus",
+    platform_key="stbus", signals=_STBUS_SIGNALS,
+    channels=("request", "response"), handshake="req/gnt",
+    split=False, posted_writes=False, pipelined=False,
+    multi_outstanding=False, response_interleave=False, max_burst_beats=0,
+    energy_coefficient="stbus_t1_pj_per_beat",
+    beat_rule="stbus.packet_order",
+    notes="low cost; the node is held end to end per transaction"))
+
+register_protocol(ProtocolSpec(
+    name="stbus_t2", title="STBus Type 2", family="stbus", engine="stbus",
+    platform_key="stbus", signals=_STBUS_SIGNALS + _STBUS_T2_EXTRA,
+    channels=("request", "response"), handshake="req/gnt",
+    split=True, posted_writes=True, pipelined=True,
+    multi_outstanding=True, response_interleave=False, max_burst_beats=0,
+    energy_coefficient="stbus_t2_pj_per_beat",
+    beat_rule="stbus.packet_order",
+    notes="split + pipelined, posted writes, packet-atomic responses"))
+
+register_protocol(ProtocolSpec(
+    name="stbus_t3", title="STBus Type 3", family="stbus", engine="stbus",
+    platform_key="stbus", signals=_STBUS_SIGNALS + _STBUS_T2_EXTRA,
+    channels=("request", "response"), handshake="req/gnt",
+    split=True, posted_writes=True, pipelined=True,
+    multi_outstanding=True, response_interleave=True, max_burst_beats=0,
+    energy_coefficient="stbus_t3_pj_per_beat",
+    beat_rule="stbus.packet_order",
+    notes="adds shaped packets and out-of-order response interleaving"))
+
+register_protocol(ProtocolSpec(
+    name="ahb", title="AMBA AHB", family="amba", engine="ahb",
+    platform_key="ahb", signals=_AHB_SIGNALS,
+    channels=("bus",), handshake="hbusreq/hgrant + hready",
+    split=False, posted_writes=False, pipelined=True,
+    multi_outstanding=False, response_interleave=False, max_burst_beats=0,
+    energy_coefficient="ahb_pj_per_beat", beat_rule="ahb.data_order",
+    notes="single data link, address pipelining, non-posted writes"))
+
+register_protocol(ProtocolSpec(
+    name="axi", title="AMBA AXI", family="amba", engine="axi",
+    platform_key="axi", signals=_AXI_SIGNALS,
+    channels=("ar", "aw", "w", "r", "b"), handshake="valid/ready",
+    split=True, posted_writes=False, pipelined=True,
+    multi_outstanding=True, response_interleave=True, max_burst_beats=0,
+    energy_coefficient="axi_pj_per_beat", beat_rule="axi.id_order",
+    notes="five independent channels, per-beat R re-arbitration"))
+
+register_protocol(ProtocolSpec(
+    name="tlm", title="Analytic TLM tier", family="tlm", engine="tlm",
+    platform_key=None, signals=(),
+    channels=("transport",), handshake="function call",
+    split=True, posted_writes=True, pipelined=True,
+    multi_outstanding=True, response_interleave=True, max_burst_beats=0,
+    energy_coefficient="tlm_pj_per_beat",
+    beat_rule="tlm.completion_order", bridgeable=False,
+    notes="serves analytic service models only; never drains a bridge "
+          "target FIFO, so bridging to or from it deadlocks"))
+
+
+# ---------------------------------------------------------------------------
+# pure spec entries served by the generic engine
+# ---------------------------------------------------------------------------
+register_protocol(ProtocolSpec(
+    name="wishbone", title="Wishbone B4 (classic)", family="open",
+    engine="generic", platform_key="wishbone", signals=_WISHBONE_SIGNALS,
+    channels=("bus",), handshake="cyc/stb/ack",
+    split=False, posted_writes=False, pipelined=False,
+    multi_outstanding=False, response_interleave=False, max_burst_beats=0,
+    setup_cycles=1, resp_overhead_cycles=1,
+    energy_coefficient="wishbone_pj_per_beat",
+    beat_rule="wishbone.ack_order",
+    notes="classic cycles: cyc assertion + one ack turnaround per beat"))
+
+register_protocol(ProtocolSpec(
+    name="apb", title="AMBA APB", family="amba",
+    engine="generic", platform_key="apb", signals=_APB_SIGNALS,
+    channels=("bus",), handshake="psel/penable/pready",
+    split=False, posted_writes=False, pipelined=False,
+    multi_outstanding=False, response_interleave=False, max_burst_beats=1,
+    setup_cycles=1,
+    energy_coefficient="apb_pj_per_beat", beat_rule="apb.access_order",
+    notes="two-phase SETUP/ACCESS, one beat per transfer, no bursts"))
+
+register_protocol(ProtocolSpec(
+    name="axi4lite", title="AMBA AXI4-Lite", family="amba",
+    engine="generic", platform_key="axi4lite", signals=_AXI4LITE_SIGNALS,
+    channels=("ar", "aw", "w", "r", "b"), handshake="valid/ready",
+    split=True, posted_writes=False, pipelined=True,
+    multi_outstanding=True, response_interleave=True, max_burst_beats=1,
+    energy_coefficient="axi4lite_pj_per_beat",
+    beat_rule="axi4lite.channel_order",
+    notes="AXI channels without bursts or IDs; every beat is a transfer"))
+
+register_protocol(ProtocolSpec(
+    name="avalon", title="Avalon-MM", family="open",
+    engine="generic", platform_key="avalon", signals=_AVALON_SIGNALS,
+    channels=("bus",), handshake="waitrequest",
+    split=True, posted_writes=True, pipelined=True,
+    multi_outstanding=True, response_interleave=False, max_burst_beats=0,
+    energy_coefficient="avalon_pj_per_beat",
+    beat_rule="avalon.readdata_order",
+    notes="pipelined reads via readdatavalid, posted writes, bursts"))
+
+register_protocol(ProtocolSpec(
+    name="tilelink", title="TileLink-UL", family="open",
+    engine="generic", platform_key="tilelink", signals=_TILELINK_SIGNALS,
+    channels=("a", "d"), handshake="valid/ready",
+    split=True, posted_writes=False, pipelined=True,
+    multi_outstanding=True, response_interleave=True, max_burst_beats=1,
+    energy_coefficient="tilelink_pj_per_beat", beat_rule="tilelink.d_order",
+    notes="uncached-lightweight: single-beat A/D messages, every write "
+          "acked on D"))
+
+
+__all__ = [
+    "PROTOCOLS",
+    "ProtocolSpec",
+    "Signal",
+    "bridge_pair_unsupported",
+    "bridgeable_specs",
+    "generic_specs",
+    "get_spec",
+    "platform_protocols",
+    "register_protocol",
+    "spec_for_fabric",
+]

@@ -32,11 +32,21 @@ class Opcode(enum.Enum):
 
 
 class ProtocolKind(enum.Enum):
-    """The communication protocol family a port speaks."""
+    """The communication protocol family a port speaks.
+
+    The authoritative per-protocol semantics live in the declarative
+    registry (:mod:`repro.interconnect.protocols`); this enum only tags
+    the coarse families used by legacy call sites.
+    """
 
     STBUS = "stbus"
     AHB = "ahb"
     AXI = "axi"
+    WISHBONE = "wishbone"
+    APB = "apb"
+    AXI4LITE = "axi4lite"
+    AVALON = "avalon"
+    TILELINK = "tilelink"
 
 
 class StbusType(enum.IntEnum):

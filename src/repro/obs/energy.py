@@ -82,6 +82,14 @@ class EnergyConfig:
     ahb_pj_per_beat: float = 5.0
     axi_pj_per_beat: float = 7.5
     tlm_pj_per_beat: float = 5.6
+    #: Registry-served generic fabrics (docs/PROTOCOLS.md): simpler
+    #: handshakes switch less control logic per cell than the
+    #: full-featured buses above.
+    wishbone_pj_per_beat: float = 3.8
+    apb_pj_per_beat: float = 2.4
+    axi4lite_pj_per_beat: float = 4.6
+    avalon_pj_per_beat: float = 4.0
+    tilelink_pj_per_beat: float = 4.4
     #: Per far-side beat of a bridge-converted child transaction
     #: (re-timing FIFOs + width conversion datapath).
     bridge_pj_per_beat: float = 3.4
@@ -98,6 +106,9 @@ class EnergyConfig:
         for name in ("stbus_t1_pj_per_beat", "stbus_t2_pj_per_beat",
                      "stbus_t3_pj_per_beat", "ahb_pj_per_beat",
                      "axi_pj_per_beat", "tlm_pj_per_beat",
+                     "wishbone_pj_per_beat", "apb_pj_per_beat",
+                     "axi4lite_pj_per_beat", "avalon_pj_per_beat",
+                     "tilelink_pj_per_beat",
                      "bridge_pj_per_beat", "onchip_pj_per_beat",
                      "cache_hit_pj", "cache_miss_pj"):
             if getattr(self, name) < 0:
@@ -112,14 +123,19 @@ class EnergyConfig:
     def fabric_pj_per_beat(self, fabric) -> float:
         """Coefficient for one bus cell on ``fabric``.
 
-        STBus nodes (shared-bus and crossbar) carry a ``bus_type``; the
-        other fabrics are identified by their ``protocol`` label.
+        STBus nodes (shared-bus and crossbar) carry a ``bus_type``;
+        registry-served generic fabrics resolve through their spec's
+        ``energy_coefficient`` field; the remaining legacy fabrics are
+        identified by their ``protocol`` label.
         """
         bus_type = getattr(fabric, "bus_type", None)
         if bus_type is not None:
             return {1: self.stbus_t1_pj_per_beat,
                     2: self.stbus_t2_pj_per_beat,
                     3: self.stbus_t3_pj_per_beat}[int(bus_type)]
+        spec = getattr(fabric, "spec", None)
+        if spec is not None:
+            return float(getattr(self, spec.energy_coefficient))
         protocol = getattr(fabric, "protocol", "")
         if protocol == "ahb":
             return self.ahb_pj_per_beat

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import List, Optional, Tuple
 
+from ..interconnect.protocols import platform_protocols
 from ..interconnect.types import StbusType
 from ..memory.lmi import LmiConfig
 from ..memory.timing import DDR_SDRAM, SdramTiming
@@ -148,7 +149,12 @@ class CpuConfig:
 class PlatformConfig:
     """Everything needed to elaborate one platform instance."""
 
-    protocol: str = "stbus"  # "stbus" | "ahb" | "axi"
+    #: Interconnect protocol; any value of
+    #: :func:`repro.interconnect.protocols.platform_protocols` — the
+    #: paper's three ("stbus" | "ahb" | "axi") plus the registry-served
+    #: generic fabrics ("wishbone" | "apb" | "axi4lite" | "avalon" |
+    #: "tilelink").
+    protocol: str = "stbus"
     topology: str = "distributed"  # "distributed" | "collapsed"
     #: Modelling abstraction: "cycle" simulates every beat; "tlm" uses the
     #: approximately-timed transaction-level tier (collapsed topology only)
@@ -202,8 +208,10 @@ class PlatformConfig:
     seed: int = 1
 
     def __post_init__(self) -> None:
-        if self.protocol not in ("stbus", "ahb", "axi"):
-            raise ValueError(f"unknown protocol {self.protocol!r}")
+        if self.protocol not in platform_protocols():
+            raise ValueError(
+                f"unknown protocol {self.protocol!r}; registered: "
+                f"{sorted(platform_protocols())}")
         if self.topology not in ("distributed", "collapsed"):
             raise ValueError(f"unknown topology {self.topology!r}")
         if self.abstraction not in ("cycle", "tlm"):

@@ -13,8 +13,7 @@ from typing import Dict, List, Optional
 
 from ..analysis.fifo_monitor import InterfaceMonitor
 from ..analysis.metrics import RunResult, summarize_transactions
-from ..bridge.genconv import GenConvBridge
-from ..bridge.lightweight import LightweightBridge
+from ..bridge.matrix import make_bridge
 from ..core.component import Component
 from ..core.kernel import Simulator
 from ..cpu.benchmark import BenchmarkConfig, SyntheticBenchmark
@@ -22,6 +21,8 @@ from ..cpu.st220 import St220Core
 from ..interconnect.ahb import AhbLayer
 from ..interconnect.axi import AxiFabric
 from ..interconnect.base import Fabric, TargetPort
+from ..interconnect.generic import GenericFabric
+from ..interconnect.protocols import PROTOCOLS
 from ..interconnect.stbus import StbusNode
 from ..interconnect.types import AddressRange, StbusType
 from ..memory.lmi import LmiController
@@ -64,6 +65,12 @@ def make_fabric(sim: Simulator, name: str, protocol: str, freq_mhz: float,
     if protocol == "axi":
         return AxiFabric(sim, name, clock, data_width_bytes=width_bytes,
                          parent=parent)
+    spec = PROTOCOLS.get(protocol)
+    if spec is not None and spec.engine == "generic":
+        # Registry-served protocols (Wishbone, APB, AXI4-Lite, Avalon,
+        # TileLink-UL) share one spec-driven engine.
+        return GenericFabric(sim, name, clock, spec,
+                             data_width_bytes=width_bytes, parent=parent)
     raise ValueError(f"unknown protocol {protocol!r}")
 
 
@@ -191,10 +198,9 @@ class PlatformInstance(Component):
                     self.sim, lmi_node, "lmi", MEMORY_BASE, MEMORY_SPAN,
                     lmi_clock, config=cfg.memory.lmi,
                     timing=cfg.memory.sdram, parent=self)
-                bridge_cls = (GenConvBridge if cfg.lmi_bridge_split
-                              else LightweightBridge)
-                self.bridges.append(bridge_cls(
+                self.bridges.append(make_bridge(
                     self.sim, "to_lmi", self.central, lmi_node, mem_range,
+                    split=cfg.lmi_bridge_split,
                     crossing_cycles=cfg.bridge_crossing_cycles, parent=self))
             self.memory_port = self.lmi.port
         self.monitor = InterfaceMonitor(self.sim, self.memory_port)
@@ -236,17 +242,21 @@ class PlatformInstance(Component):
             self._build_ip(fabric, cluster, spec, width)
 
     def _bridge_to_central(self, name: str, fabric: Fabric) -> None:
+        """Bridge a cluster layer to the central node via the derived
+        matrix: the registry validates the pairing, the config's split
+        knobs pick between the GenConv and lightweight machinery."""
         cfg = self.config
         mem_range = AddressRange(MEMORY_BASE, MEMORY_SPAN)
         if cfg.bridges_split:
-            bridge = GenConvBridge(
+            bridge = make_bridge(
                 self.sim, f"{name}_conv", fabric, self.central, mem_range,
-                crossing_cycles=cfg.genconv_crossing_cycles,
+                split=True, crossing_cycles=cfg.genconv_crossing_cycles,
                 child_outstanding=cfg.genconv_outstanding, parent=self)
         else:
-            bridge = LightweightBridge(
+            bridge = make_bridge(
                 self.sim, f"{name}_br", fabric, self.central, mem_range,
-                crossing_cycles=cfg.bridge_crossing_cycles, parent=self)
+                split=False, crossing_cycles=cfg.bridge_crossing_cycles,
+                parent=self)
         self.bridges.append(bridge)
 
     def _build_ip(self, fabric: Fabric, cluster: ClusterSpec, spec: IpSpec,

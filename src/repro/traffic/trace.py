@@ -44,18 +44,26 @@ class TraceRecord:
                 f"{self.beats} {self.beat_bytes}")
 
     @classmethod
-    def from_line(cls, line: str) -> "TraceRecord":
+    def from_line(cls, line: str, where: Optional[str] = None) -> "TraceRecord":
+        """Parse one record; ``where`` (e.g. ``"dma.trace:17"``) is
+        prepended to parse errors so a bad line in a long file names its
+        file and line number instead of just echoing itself."""
+        at = f"{where}: " if where else ""
         parts = line.split()
         if len(parts) != 5:
-            raise ValueError(f"malformed trace line: {line!r}")
+            raise ValueError(f"{at}malformed trace line: {line!r}")
         gap, letter, address, beats, beat_bytes = parts
         if letter not in ("R", "W"):
-            raise ValueError(f"bad opcode letter {letter!r} in {line!r}")
-        return cls(gap_cycles=int(gap),
-                   opcode=Opcode.READ if letter == "R" else Opcode.WRITE,
-                   address=int(address, 0),
-                   beats=int(beats),
-                   beat_bytes=int(beat_bytes))
+            raise ValueError(f"{at}bad opcode letter {letter!r} in {line!r}")
+        try:
+            return cls(gap_cycles=int(gap),
+                       opcode=Opcode.READ if letter == "R" else Opcode.WRITE,
+                       address=int(address, 0),
+                       beats=int(beats),
+                       beat_bytes=int(beat_bytes))
+        except ValueError as exc:
+            raise ValueError(f"{at}malformed trace line: {line!r} "
+                             f"({exc})") from None
 
 
 def save_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> None:
@@ -65,12 +73,17 @@ def save_trace(path: Union[str, Path], records: Iterable[TraceRecord]) -> None:
 
 
 def load_trace(path: Union[str, Path]) -> List[TraceRecord]:
-    """Read a trace file written by :func:`save_trace`."""
+    """Read a trace file written by :func:`save_trace`.
+
+    Parse errors carry ``<file>:<line>`` context.
+    """
+    path = Path(path)
     records = []
-    for raw in Path(path).read_text().splitlines():
+    for lineno, raw in enumerate(path.read_text().splitlines(), start=1):
         line = raw.split("#", 1)[0].strip()
         if line:
-            records.append(TraceRecord.from_line(line))
+            records.append(TraceRecord.from_line(line,
+                                                 where=f"{path}:{lineno}"))
     return records
 
 

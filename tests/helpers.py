@@ -5,10 +5,12 @@ from repro.interconnect import (
     AddressRange,
     AhbLayer,
     AxiFabric,
+    GenericFabric,
     Opcode,
     StbusNode,
     StbusType,
     Transaction,
+    get_spec,
 )
 from repro.memory import OnChipMemory
 
@@ -16,14 +18,34 @@ MEM_SPAN = 1 << 20
 
 
 def make_node(sim, protocol="stbus", freq_mhz=200, width=4,
-              bus_type=StbusType.T3, **kwargs):
-    clk = sim.clock(freq_mhz=freq_mhz, name="clk")
+              bus_type=StbusType.T3, name="node", **kwargs):
+    clk = sim.clock(freq_mhz=freq_mhz, name=f"{name}_clk")
     if protocol == "stbus":
-        return StbusNode(sim, "node", clk, data_width_bytes=width,
+        return StbusNode(sim, name, clk, data_width_bytes=width,
                          bus_type=bus_type, **kwargs)
     if protocol == "ahb":
-        return AhbLayer(sim, "node", clk, data_width_bytes=width, **kwargs)
-    return AxiFabric(sim, "node", clk, data_width_bytes=width, **kwargs)
+        return AhbLayer(sim, name, clk, data_width_bytes=width, **kwargs)
+    if protocol == "axi":
+        return AxiFabric(sim, name, clk, data_width_bytes=width, **kwargs)
+    # Registry-served generic fabrics (wishbone, apb, axi4lite, ...).
+    return GenericFabric(sim, name, clk, get_spec(protocol),
+                         data_width_bytes=width, **kwargs)
+
+
+def make_spec_node(sim, spec_name, freq_mhz=200, width=4, name=None,
+                   **kwargs):
+    """A fabric for any registry entry, legacy engines included."""
+    spec = get_spec(spec_name)
+    name = name or spec_name
+    if spec.engine == "stbus":
+        bus_type = StbusType(int(spec_name[-1])) \
+            if spec_name.startswith("stbus_t") else StbusType.T3
+        return make_node(sim, "stbus", freq_mhz, width, bus_type, name=name,
+                         **kwargs)
+    if spec.engine in ("ahb", "axi"):
+        return make_node(sim, spec.engine, freq_mhz, width, name=name,
+                         **kwargs)
+    return make_node(sim, spec_name, freq_mhz, width, name=name, **kwargs)
 
 
 def add_memory(sim, fabric, base=0, wait_states=1, request_depth=2,

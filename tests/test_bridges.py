@@ -173,6 +173,31 @@ class TestGenConv:
         assert child.message_id is None
         assert child.message_last is True
 
+    def test_message_grouping_preserved_from_crossbar(self, sim):
+        """Regression: the gate used to compare the protocol label against
+        "stbus" exactly, so a GenConv sourced from an STBus *crossbar*
+        (label "stbus-xbar") silently stripped message grouping on the way
+        to the memory controller.  The registry resolves the family now."""
+        from repro.interconnect import StbusNode, StbusType
+        from repro.interconnect.crossbar import StbusCrossbar
+        from repro.memory import OnChipMemory
+
+        clk = sim.clock(freq_mhz=200, name="xclk")
+        source = StbusCrossbar(sim, "xbar", clk, data_width_bytes=4,
+                               bus_type=StbusType.T3)
+        dclk = sim.clock(freq_mhz=250, name="xdclk")
+        dest = StbusNode(sim, "dest", dclk, data_width_bytes=8,
+                         bus_type=StbusType.T3)
+        port = dest.add_target("mem", AddressRange(0, MEM_SPAN),
+                               request_depth=4, response_depth=8)
+        OnChipMemory(sim, "mem", port, dclk, wait_states=1, width_bytes=8)
+        bridge = GenConvBridge(sim, "br", source, dest,
+                               AddressRange(0, MEM_SPAN))
+        txn = read(0x0, message_id=42, message_last=False)
+        child = bridge.make_child(txn)
+        assert child.message_id == 42
+        assert child.message_last is False
+
     def test_nonposted_write_ack_in_order(self, sim):
         source, *_ = bridged_system(sim, GenConvBridge,
                                     source_protocol="ahb")

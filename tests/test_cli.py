@@ -96,3 +96,31 @@ class TestTraceCleanup:
         # the ambient hook is gone and the (empty) trace was still written
         assert kernel._new_sim_hooks == []
         assert json.loads(trace.read_text()) is not None
+
+
+class TestProtocols:
+    def test_table_lists_registry(self, capsys):
+        from repro.interconnect import PROTOCOLS
+
+        assert main(["protocols"]) == 0
+        out = capsys.readouterr().out
+        for name in PROTOCOLS:
+            assert name in out
+        assert "docs/PROTOCOLS.md" in out
+
+    def test_plan_describes_pairing(self, capsys):
+        assert main(["protocols", "--plan", "axi", "apb"]) == 0
+        out = capsys.readouterr().out
+        assert "axi -> apb" in out
+        assert "single-beat" in out
+
+    def test_plan_rejects_unsupported_pairing(self, capsys):
+        assert main(["protocols", "--plan", "axi", "tlm"]) == 2
+        err = capsys.readouterr().err
+        assert "'axi'" in err and "'tlm'" in err
+
+    def test_matrix_covers_all_pairings(self, capsys):
+        assert main(["protocols", "--matrix"]) == 0
+        out = capsys.readouterr().out
+        assert "100 derived pairings" in out
+        assert "wishbone -> tilelink" in out

@@ -25,7 +25,12 @@ class TestConfigValidation:
 
     def test_bad_protocol(self):
         with pytest.raises(ValueError):
-            PlatformConfig(protocol="wishbone")
+            PlatformConfig(protocol="pcie")
+
+    def test_registry_protocols_accepted(self):
+        # Every registry platform key elaborates into a valid config.
+        for protocol in ("wishbone", "apb", "axi4lite", "avalon", "tilelink"):
+            assert PlatformConfig(protocol=protocol).protocol == protocol
 
     def test_bad_topology(self):
         with pytest.raises(ValueError):

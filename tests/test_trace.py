@@ -53,6 +53,26 @@ class TestFileRoundTrip:
         path.write_text("# header\n\n0 R 0x100 8 4  # inline comment\n")
         assert load_trace(path) == [RECORDS[0]]
 
+    def test_parse_error_names_file_and_line(self, tmp_path):
+        """Regression: a bad record used to raise with only the line text,
+        leaving the offending file and line number a mystery."""
+        path = tmp_path / "dma.trace"
+        path.write_text("# header\n0 R 0x100 8 4\n0 R 0x0\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:3.*malformed"):
+            load_trace(path)
+
+    def test_bad_opcode_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "dma.trace"
+        path.write_text("0 X 0x0 4 4\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:1.*bad opcode"):
+            load_trace(path)
+
+    def test_bad_field_error_names_file_and_line(self, tmp_path):
+        path = tmp_path / "dma.trace"
+        path.write_text("0 R 0x100 8 4\n0 R zzz 4 4\n")
+        with pytest.raises(ValueError, match=rf"{path.name}:2"):
+            load_trace(path)
+
 
 class TestPlayer:
     def test_replays_sequence(self, sim):

@@ -80,6 +80,14 @@ class BridgePlan:
             return head + ": direct store-and-forward"
         return head + ": " + "; ".join(s.detail for s in self.steps)
 
+    def wire_bits(self, source_width_bytes: int = 4,
+                  dest_width_bytes: int = 4) -> int:
+        """Wires the bridge itself contributes: a full target-side port on
+        the source protocol plus a full initiator-side port on the
+        destination protocol (the DSE wire-cost model's bridge term)."""
+        return (get_spec(self.source).wire_bits(source_width_bytes)
+                + get_spec(self.dest).wire_bits(dest_width_bytes))
+
 
 def _config_error(message: str) -> Exception:
     # Imported lazily: repro.platforms imports repro.bridge at package

@@ -8,6 +8,7 @@
     python -m repro run fig5 --trace out.json    # ... with a Perfetto trace
     python -m repro platform my_platform.json    # simulate a config file
     python -m repro sweep my_sweep.json --jobs 4 # design-space sweep file
+    python -m repro dse my_dse.json --jobs 4     # Pareto search over a space
     python -m repro trace fig5                   # lifecycle trace + hop table
     python -m repro stats fig6 --json out.json   # flat metric dump
     python -m repro stats fig5 --energy          # + per-component energy
@@ -96,6 +97,14 @@ def _wrap_io_qos():
     return runner
 
 
+def _wrap_crossbar_dse():
+    def runner(scale: float, jobs: Optional[int] = None):
+        data = experiments.crossbar_dse.run(traffic_scale=scale, jobs=jobs)
+        return (data, experiments.crossbar_dse.report(data),
+                experiments.crossbar_dse.check(data))
+    return runner
+
+
 def registry() -> Registry:
     return {
         "s411": ("Section 4.1.1 — many-to-many single layer",
@@ -118,6 +127,8 @@ def registry() -> Registry:
                          _wrap_segmentation()),
         "io_qos": ("Extension — display QoS under DMA contention "
                    "(guideline 4)", _wrap_io_qos()),
+        "crossbar_dse": ("Extension — application-specific crossbar "
+                         "choice via Pareto search", _wrap_crossbar_dse()),
     }
 
 
@@ -394,6 +405,57 @@ def cmd_sweep(args) -> int:
         from .analysis import results_to_csv
 
         results_to_csv(args.csv, results)
+        print(f"wrote {args.csv}")
+    return 0
+
+
+def cmd_dse(args) -> int:
+    """Search a declarative design space and print its Pareto front.
+
+    The spec file names the base platform, the axes (topology, protocol,
+    arbitration, FIFO depths, LMI lookahead, dotted config paths), the
+    objectives and the optimizer knobs — see docs/DSE.md.  The returned
+    front is re-checked by an independent verifier before anything is
+    printed; a verification failure exits non-zero.
+    """
+    from .dse import explore, front_csv, front_json, front_table, load_dse
+    from .platforms.loader import ConfigError
+    from .sweep import SweepError
+
+    try:
+        spec = load_dse(args.spec)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    overrides = {"jobs": args.jobs, "seed": args.seed,
+                 "screen": args.screen}
+    if args.no_cache:
+        overrides["cache"] = False
+    try:
+        outcome = explore(spec, **overrides)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (SweepError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(f"### dse {args.spec} — {outcome.mode} search over "
+          f"{outcome.space_size} assignments\n")
+    print(front_table(outcome))
+    screens = len(outcome.pruned)
+    print(f"\n{len(outcome.front)} front member(s) from "
+          f"{len(outcome.evaluated)} accurate evaluation(s)"
+          + (f"; {screens} candidate(s) pruned from loosely-timed "
+             f"screening alone" if screens else "")
+          + f"; objectives: {', '.join(outcome.objectives)}")
+    print("front verified non-dominated by the independent checker")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(front_json(outcome))
+        print(f"wrote {args.json}")
+    if args.csv:
+        with open(args.csv, "w", encoding="utf-8") as handle:
+            handle.write(front_csv(outcome))
         print(f"wrote {args.csv}")
     return 0
 
@@ -684,6 +746,33 @@ def build_parser() -> argparse.ArgumentParser:
                                    "$REPRO_SWEEP_CACHE or "
                                    "~/.cache/repro/sweeps)")
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    dse_parser = sub.add_parser(
+        "dse", help="search a declarative design space and print the "
+                    "verified Pareto front")
+    dse_parser.add_argument("spec", help="DSE JSON (base/axes/objectives/"
+                                         "optimizer; see docs/DSE.md)")
+    dse_parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="worker processes per evaluation batch "
+                                 "(default: the file's optimizer.jobs, "
+                                 "else $REPRO_JOBS, else 1)")
+    dse_parser.add_argument("--seed", type=int, default=None,
+                            help="search seed (default: the file's "
+                                 "optimizer.seed, else 1)")
+    dse_parser.add_argument("--screen", choices=("auto", "lt", "off"),
+                            default=None,
+                            help="loosely-timed candidate screening: auto "
+                                 "(evolutionary mode only), lt (always) or "
+                                 "off (see docs/DSE.md)")
+    dse_parser.add_argument("--json", metavar="PATH",
+                            help="write the front + search provenance as "
+                                 "JSON")
+    dse_parser.add_argument("--csv", metavar="PATH",
+                            help="write the front's objective rows as CSV")
+    dse_parser.add_argument("--no-cache", action="store_true",
+                            help="re-simulate every candidate, bypassing "
+                                 "the sweep result cache")
+    dse_parser.set_defaults(func=cmd_dse)
 
     trace_parser = sub.add_parser(
         "trace", help="run an experiment under lifecycle tracing and "

@@ -1,0 +1,87 @@
+"""Automated design-space exploration over crossbar topologies.
+
+The platform model exists to answer design questions: which interconnect
+topology, protocol, arbitration style and buffering meet an application's
+traffic demands at the lowest cost.  Following the application-specific
+STBus crossbar-generation flow of Murali & De Micheli (DATE 2005, see
+PAPERS.md), this package closes that loop: it takes an IPTG traffic
+specification plus a declarative search-space description and *searches*
+the configuration space instead of sweeping it exhaustively.
+
+Layout:
+
+:mod:`repro.dse.pareto`
+    The property-tested search core — dominance, deterministic Pareto
+    fronts, an incremental archive, the bounded-drift pruning rule and an
+    independent front verifier (``tests/test_dse_properties.py``).
+:mod:`repro.dse.space`
+    Declarative search spaces: named axes (topology, protocol,
+    arbitration, FIFO depth, LMI lookahead) plus generic dotted-path
+    axes over the platform document; candidates are index tuples.
+:mod:`repro.dse.objectives`
+    The objective registry mapping run results / configurations onto
+    canonical minimisation vectors, each with its LT screening drift
+    bound from the docs/FAST_SIM.md contract.
+:mod:`repro.dse.cost`
+    The wire-count/area cost model derived from the protocol registry's
+    signal tables — no simulation required.
+:mod:`repro.dse.optimizer`
+    The seeded evolutionary / branch-and-bound hybrid that drives
+    :func:`repro.sweep.sweep`, with loosely-timed candidate screening
+    and cycle-accurate re-validation of front members.
+:mod:`repro.dse.report`
+    Front rendering and JSON/CSV export through the
+    :mod:`repro.obs` exporters.
+
+Entry points: ``repro dse <spec.json>`` on the CLI,
+:func:`repro.dse.explore` from Python.  The schema, the optimizer's
+guarantees and a worked example live in docs/DSE.md.
+"""
+
+from .cost import platform_cost, wire_cost
+from .objectives import OBJECTIVES, Objective, resolve_objectives
+from .optimizer import (
+    DseOutcome,
+    EvaluatedPoint,
+    OptimizerOptions,
+    explore,
+    optimize,
+)
+from .pareto import (
+    ParetoArchive,
+    Point,
+    dominates,
+    pareto_front,
+    prune_screened,
+    verify_front,
+)
+from .report import front_csv, front_json, front_rows, front_table
+from .space import Axis, DseSpec, SearchSpace, load_dse, parse_dse
+
+__all__ = [
+    "OBJECTIVES",
+    "Axis",
+    "DseOutcome",
+    "DseSpec",
+    "EvaluatedPoint",
+    "Objective",
+    "OptimizerOptions",
+    "ParetoArchive",
+    "Point",
+    "SearchSpace",
+    "dominates",
+    "explore",
+    "front_csv",
+    "front_json",
+    "front_rows",
+    "front_table",
+    "load_dse",
+    "optimize",
+    "parse_dse",
+    "pareto_front",
+    "platform_cost",
+    "prune_screened",
+    "resolve_objectives",
+    "verify_front",
+    "wire_cost",
+]

@@ -1,0 +1,109 @@
+"""Wire-count / area cost, derived from the protocol registry.
+
+The crossbar question is a cost question: a full crossbar buys
+contention-free paths with O(initiators x targets) wiring, a shared bus
+spends O(initiators + targets), and the partial (multi-layer, bridged)
+topologies sit between.  This model makes that trade-off a first-class
+objective without running a single simulation:
+
+* each protocol's per-port wire count comes from its registry signal
+  table (:meth:`ProtocolSpec.wire_bits`), scaled to the fabric's data
+  width;
+* a shared node wires every port onto one set of shared lines —
+  ``bits * (initiators + targets)``;
+* a crossbar wires every initiator to every target —
+  ``bits * initiators * targets`` — plus the same per-port interface
+  wiring as the shared node;
+* a bridge contributes a target-side port on its source protocol and an
+  initiator-side port on its destination protocol
+  (:meth:`BridgePlan.wire_bits`);
+* FIFO storage (memory request/response slots, LMI input/output FIFOs,
+  the lookahead window's address/opcode entries) is counted in bits so
+  buffering axes have a real cost, not a free lunch.
+
+The unit is *wire bits*: a relative figure of merit for ranking
+configurations, not square millimetres.  It is exact given the config —
+the LT screening drift bound for the ``cost`` objective is zero.
+"""
+
+from __future__ import annotations
+
+from ..bridge.matrix import conversion_plan
+from ..interconnect.protocols import spec_for_platform
+from ..platforms.config import PlatformConfig
+
+#: Bits per lookahead-window entry: a 32-bit address plus opcode/length
+#: bookkeeping, matching the LMI controller's queue entries.
+_LOOKAHEAD_ENTRY_BITS = 40
+
+
+def wire_cost(protocol: str, initiators: int, targets: int,
+              width_bytes: int = 4, *, crossbar: bool = False,
+              stbus_type: int = 3) -> int:
+    """Wire bits of one interconnect node.
+
+    ``protocol`` is a ``PlatformConfig.protocol`` value (``stbus_type``
+    disambiguates the STBus tiers).  ``crossbar=True`` adds the full
+    initiator-by-target switch matrix on top of the per-port interface
+    wiring both organisations need.
+    """
+    if initiators < 1 or targets < 1:
+        raise ValueError("a node needs at least one initiator and one "
+                         "target")
+    bits = spec_for_platform(protocol, stbus_type).wire_bits(width_bytes)
+    ports = bits * (initiators + targets)
+    if crossbar:
+        return ports + bits * initiators * targets
+    return ports
+
+
+def _fifo_bits(config: PlatformConfig) -> int:
+    """Storage bits of the memory-side buffering."""
+    memory = config.memory
+    if memory.kind == "lmi":
+        word = config.central_width_bytes * 8
+        return (word * (memory.lmi.input_fifo_depth
+                        + memory.lmi.output_fifo_depth)
+                + _LOOKAHEAD_ENTRY_BITS * memory.lmi.lookahead_depth)
+    word = config.central_width_bytes * 8
+    return word * (memory.request_depth + memory.response_depth)
+
+
+def platform_cost(config: PlatformConfig) -> int:
+    """Total interconnect wire bits + FIFO storage bits of a platform.
+
+    Collapsed topologies are a single node holding every IP (plus the
+    CPU when enabled) against the memory target; distributed ones sum
+    the per-cluster nodes, one bridge per cluster into the central node,
+    and the central node itself.  ``central_crossbar`` turns the central
+    node into the full switch matrix (STBus platforms only — the
+    builder ignores the flag elsewhere, and so does the cost model).
+    """
+    cpu_ports = 1 if config.cpu.enabled else 0
+    is_crossbar = config.central_crossbar and config.protocol == "stbus"
+    central_type = int(config.central_stbus_type)
+    total = 0
+    if config.topology == "collapsed":
+        initiators = cpu_ports + sum(len(c.ips) for c in config.clusters)
+        total += wire_cost(config.protocol, max(1, initiators), 1,
+                           config.central_width_bytes,
+                           crossbar=is_crossbar, stbus_type=central_type)
+    else:
+        central_spec = spec_for_platform(config.protocol, central_type)
+        for cluster in config.clusters:
+            cluster_spec = spec_for_platform(config.protocol,
+                                             int(cluster.stbus_type))
+            total += wire_cost(config.protocol, max(1, len(cluster.ips)), 1,
+                               cluster.data_width_bytes,
+                               stbus_type=int(cluster.stbus_type))
+            plan = conversion_plan(cluster_spec, central_spec)
+            total += plan.wire_bits(cluster.data_width_bytes,
+                                    config.central_width_bytes)
+        central_initiators = max(1, len(config.clusters) + cpu_ports)
+        total += wire_cost(config.protocol, central_initiators, 1,
+                           config.central_width_bytes,
+                           crossbar=is_crossbar, stbus_type=central_type)
+    return total + _fifo_bits(config)
+
+
+__all__ = ["platform_cost", "wire_cost"]

@@ -1,0 +1,280 @@
+"""The search core: dominance, Pareto fronts, archives, sound pruning.
+
+Search code is notoriously easy to get subtly wrong — dominated points
+surviving on the "front", tie-breaking that differs run to run, pruning
+that silently discards optima.  This module therefore keeps the core
+*pure*: every function operates on plain objective vectors (tuples of
+non-negative floats, canonicalised so that smaller is always better) and
+is deterministic by construction.  ``tests/test_dse_properties.py``
+checks the invariants with hypothesis-generated inputs, independently of
+any particular optimizer run:
+
+* no front member is dominated by any evaluated point;
+* every evaluated point off the front is strictly dominated by a member;
+* fronts are insertion-order independent and idempotent;
+* the incremental :class:`ParetoArchive` agrees with the batch
+  :func:`pareto_front` for every insertion order;
+* :func:`prune_screened` never prunes a true-front member while the
+  screening error respects its per-objective drift bound.
+
+The pruning rule is the branch-and-bound half of the optimizer.  A cheap
+screening evaluation (loosely-timed simulation, docs/FAST_SIM.md) gives
+an approximate vector ``s`` for each candidate whose true cycle-accurate
+vector ``t`` satisfies, per component, either ``|t - s| <= d * s``
+(relative drift ``d``) or ``|t - s| <= d`` (absolute drift).  Candidate
+``c`` may then be discarded without ever simulating it accurately when
+some other candidate ``o`` screens *strictly* better component-wise even
+after widening both error bars::
+
+    inflate(s_o)[i] < deflate(s_c)[i]   for every objective i
+
+because then ``t_o <= inflate(s_o) < deflate(s_c) <= t_c`` holds in
+every component, i.e. ``o`` truly dominates ``c`` and ``c`` cannot sit
+on the cycle-accurate front.  With zero drift the rule degrades to
+"strictly worse in every objective", which is still sound and still
+prunes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: A canonical objective vector: finite, non-negative, minimised.
+Vector = Tuple[float, ...]
+
+
+def check_vector(vector: Sequence[float]) -> Vector:
+    """Canonicalise and validate one objective vector."""
+    out = tuple(float(v) for v in vector)
+    for value in out:
+        if not math.isfinite(value) or value < 0:
+            raise ValueError(
+                f"objective vectors must be finite and non-negative "
+                f"(got {out})")
+    return out
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Pareto dominance: ``a`` is no worse everywhere and better somewhere.
+
+    Vectors are minimised component-wise; equal vectors do not dominate
+    each other.
+    """
+    if len(a) != len(b):
+        raise ValueError(f"dimension mismatch: {len(a)} vs {len(b)}")
+    better = False
+    for x, y in zip(a, b):
+        if x > y:
+            return False
+        if x < y:
+            better = True
+    return better
+
+
+@dataclass(frozen=True)
+class Point:
+    """One evaluated design point: an identity plus its vector.
+
+    ``key`` must be unique within a population (the candidate label);
+    ``payload`` carries whatever the caller wants to get back out of the
+    front (configuration documents, provenance) and takes no part in
+    comparisons.
+    """
+
+    key: str
+    vector: Vector
+    payload: Any = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vector", check_vector(self.vector))
+
+
+def _ordered(points: Iterable[Point]) -> List[Point]:
+    """Deterministic processing order: by vector, then key.
+
+    Sorting first makes the front insertion-order independent and gives
+    ties (equal vectors under different keys) a stable output order.
+    """
+    return sorted(points, key=lambda p: (p.vector, p.key))
+
+
+def pareto_front(points: Iterable[Point]) -> List[Point]:
+    """The non-dominated subset, in deterministic ``(vector, key)`` order.
+
+    Equal-vector points are mutually non-dominating: all of them stay on
+    the front.  Duplicate keys are rejected — a population is a set of
+    distinct designs.
+    """
+    pts = _ordered(points)
+    seen_keys = set()
+    for point in pts:
+        if point.key in seen_keys:
+            raise ValueError(f"duplicate point key {point.key!r}")
+        seen_keys.add(point.key)
+    front: List[Point] = []
+    for candidate in pts:
+        if not any(dominates(other.vector, candidate.vector)
+                   for other in pts):
+            front.append(candidate)
+    return front
+
+
+class ParetoArchive:
+    """Incremental non-dominated archive.
+
+    Equivalent to running :func:`pareto_front` over everything ever
+    added (a property test asserts exactly that, across insertion
+    orders), but maintained point by point so the optimizer can steer
+    each generation from the current front.  The archive is *exact* —
+    it is never truncated, so no front member can fall out of it.
+    """
+
+    def __init__(self, dimensions: Optional[int] = None) -> None:
+        self._dimensions = dimensions
+        self._members: Dict[str, Point] = {}
+        #: Points rejected (or evicted) as dominated, by key.
+        self.dominated: Dict[str, Point] = {}
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def add(self, point: Point) -> bool:
+        """Offer a point; returns True when it joins the front.
+
+        A newcomer dominated by a member is recorded in ``dominated``;
+        a newcomer that dominates members evicts them.  Re-adding a key
+        is rejected: design identities are unique.
+        """
+        if self._dimensions is None:
+            self._dimensions = len(point.vector)
+        elif len(point.vector) != self._dimensions:
+            raise ValueError(
+                f"archive holds {self._dimensions}-dimensional vectors; "
+                f"got {len(point.vector)}")
+        if point.key in self._members or point.key in self.dominated:
+            raise ValueError(f"point {point.key!r} already archived")
+        if any(dominates(member.vector, point.vector)
+               for member in self._members.values()):
+            self.dominated[point.key] = point
+            return False
+        for key in [k for k, member in self._members.items()
+                    if dominates(point.vector, member.vector)]:
+            self.dominated[key] = self._members.pop(key)
+        self._members[point.key] = point
+        return True
+
+    def front(self) -> List[Point]:
+        """Current front in deterministic ``(vector, key)`` order."""
+        return _ordered(self._members.values())
+
+    def points(self) -> List[Point]:
+        """Everything ever archived (front + dominated), ordered."""
+        return _ordered(list(self._members.values())
+                        + list(self.dominated.values()))
+
+
+def verify_front(front: Sequence[Point],
+                 population: Sequence[Point]) -> List[str]:
+    """Independently check a claimed front against its population.
+
+    Deliberately naive (O(n^2), no shared code with the archive): this
+    is the checker the CLI and CI trust, so it must not inherit a bug
+    from the machinery it audits.  Returns human-readable violations;
+    an empty list means the claimed front *is* the non-dominated subset.
+    """
+    violations: List[str] = []
+    by_key = {}
+    for point in population:
+        if point.key in by_key:
+            violations.append(f"population has duplicate key {point.key!r}")
+        by_key[point.key] = point
+    front_keys = set()
+    for member in front:
+        if member.key in front_keys:
+            violations.append(f"front lists {member.key!r} twice")
+        front_keys.add(member.key)
+        known = by_key.get(member.key)
+        if known is None:
+            violations.append(
+                f"front member {member.key!r} is not in the population")
+            continue
+        if known.vector != member.vector:
+            violations.append(
+                f"front member {member.key!r} vector {member.vector} "
+                f"disagrees with the population's {known.vector}")
+        for other in population:
+            if dominates(other.vector, member.vector):
+                violations.append(
+                    f"front member {member.key!r} {member.vector} is "
+                    f"dominated by {other.key!r} {other.vector}")
+    for point in population:
+        if point.key in front_keys:
+            continue
+        if not any(dominates(member.vector, point.vector)
+                   for member in front):
+            violations.append(
+                f"{point.key!r} {point.vector} is non-dominated but "
+                f"missing from the front")
+    return violations
+
+
+def _widen(vector: Vector, drifts: Sequence[Tuple[str, float]],
+           up: bool) -> Vector:
+    """Inflate (``up``) or deflate a screened vector by its error bars."""
+    out = []
+    for value, (kind, bound) in zip(vector, drifts):
+        if kind == "rel":
+            out.append(value * (1 + bound) if up
+                       else value / (1 + bound))
+        elif kind == "abs":
+            out.append(value + bound if up else max(0.0, value - bound))
+        else:
+            raise ValueError(f"unknown drift kind {kind!r}")
+    return tuple(out)
+
+
+def prune_screened(points: Sequence[Point],
+                   drifts: Sequence[Tuple[str, float]]) -> \
+        Tuple[List[Point], List[Point]]:
+    """Split screened points into (survivors, pruned) soundly.
+
+    ``drifts`` gives one ``("rel"|"abs", bound)`` error bar per
+    objective — the screening evaluation's worst-case deviation from the
+    accurate one (scaled by the optimizer's safety margin).  A point is
+    pruned only when some other point's *inflated* screen vector is
+    strictly below its own *deflated* one in every component, which by
+    the bound argument in the module docstring means the other point
+    accurately dominates it.  Survivors keep their deterministic order.
+    """
+    pts = _ordered(points)
+    for point in pts:
+        if len(point.vector) != len(drifts):
+            raise ValueError(
+                f"point {point.key!r} has {len(point.vector)} objectives; "
+                f"{len(drifts)} drift bounds given")
+    inflated = {p.key: _widen(p.vector, drifts, up=True) for p in pts}
+    deflated = {p.key: _widen(p.vector, drifts, up=False) for p in pts}
+    survivors: List[Point] = []
+    pruned: List[Point] = []
+    for candidate in pts:
+        ceiling = deflated[candidate.key]
+        doomed = any(
+            other.key != candidate.key
+            and all(lo < hi for lo, hi in zip(inflated[other.key], ceiling))
+            for other in pts)
+        (pruned if doomed else survivors).append(candidate)
+    return survivors, pruned
+
+
+__all__ = [
+    "ParetoArchive",
+    "Point",
+    "Vector",
+    "check_vector",
+    "dominates",
+    "pareto_front",
+    "prune_screened",
+    "verify_front",
+]

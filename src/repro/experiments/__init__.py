@@ -18,6 +18,7 @@ Every module exposes ``run() -> dict``, ``report(data) -> str`` and
 from . import (
     ablations,
     arbitration_study,
+    crossbar_dse,
     fig3_platform_instances,
     fig4_memory_speed,
     fig5_lmi_platforms,
@@ -37,6 +38,7 @@ from .common import (
 __all__ = [
     "ablations",
     "arbitration_study",
+    "crossbar_dse",
     "fig3_platform_instances",
     "fig4_memory_speed",
     "fig5_lmi_platforms",

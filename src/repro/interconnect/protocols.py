@@ -123,6 +123,25 @@ class ProtocolSpec:
         """Bursts must be serialised into one-beat transfers."""
         return self.max_burst_beats == 1
 
+    def wire_bits(self, data_width_bytes: int = 4) -> int:
+        """Physical wires one port of this protocol needs, in bits.
+
+        Control signals (pinned ``min == max``) count their fixed width.
+        Width-parameterised signals (data paths, byte strobes) are tabled
+        at their narrowest 32-bit-data instance; an instance with a wider
+        data path scales them proportionally, clamped to the table's
+        ``max_bits``.  This is the area term of the DSE wire-cost model
+        (:mod:`repro.dse.cost`): purely spec-derived, so every registered
+        protocol gets a cost without hand-written per-protocol numbers.
+        """
+        if data_width_bytes < 1:
+            raise ValueError("data_width_bytes must be >= 1")
+        scale = max(1.0, data_width_bytes * 8 / 32)
+        total = 0
+        for _name, lo, hi in self.signals:
+            total += hi if hi == lo else min(hi, int(lo * scale))
+        return total
+
 
 #: The registry.  Ordered: legacy engines first, generic entries after.
 PROTOCOLS: Dict[str, ProtocolSpec] = {}
@@ -173,6 +192,23 @@ def platform_protocols() -> Tuple[str, ...]:
         if spec.platform_key is not None and spec.platform_key not in seen:
             seen.append(spec.platform_key)
     return tuple(seen)
+
+
+def spec_for_platform(platform_key: str,
+                      stbus_type: int = 3) -> ProtocolSpec:
+    """The spec behind a ``PlatformConfig.protocol`` value.
+
+    The STBus platform key fans out over three specs; ``stbus_type``
+    (the cluster/central ``StbusType``) picks which one.  Other keys map
+    one-to-one.
+    """
+    if platform_key == "stbus":
+        return get_spec(f"stbus_t{int(stbus_type)}")
+    for spec in PROTOCOLS.values():
+        if spec.platform_key == platform_key:
+            return spec
+    raise ValueError(f"unknown platform protocol {platform_key!r}; "
+                     f"valid: {sorted(platform_protocols())}")
 
 
 def generic_specs() -> Tuple[ProtocolSpec, ...]:
@@ -412,4 +448,5 @@ __all__ = [
     "platform_protocols",
     "register_protocol",
     "spec_for_fabric",
+    "spec_for_platform",
 ]

@@ -12,17 +12,28 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Dict, Optional
+from typing import Any, Dict, Optional
 
 
 def metrics_json(rows: Dict[str, float], *, sim_time_ps: Optional[int] = None,
-                 experiment: Optional[str] = None) -> str:
-    """JSON document with a small header plus the sorted metric rows."""
-    document = {
+                 experiment: Optional[str] = None,
+                 extra: Optional[Dict[str, Any]] = None) -> str:
+    """JSON document with a small header plus the sorted metric rows.
+
+    ``extra`` adds caller-defined header fields (the DSE front export
+    records its search provenance there); it cannot shadow the three
+    standard keys.
+    """
+    document: Dict[str, Any] = {
         "experiment": experiment,
         "sim_time_ps": sim_time_ps,
-        "metrics": {path: rows[path] for path in sorted(rows)},
     }
+    for key, value in (extra or {}).items():
+        if key in ("experiment", "sim_time_ps", "metrics"):
+            raise ValueError(f"extra header field {key!r} would shadow a "
+                             f"standard one")
+        document[key] = value
+    document["metrics"] = {path: rows[path] for path in sorted(rows)}
     return json.dumps(document, indent=2) + "\n"
 
 

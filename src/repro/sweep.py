@@ -514,18 +514,25 @@ class SweepSpec:
     max_ps: int
 
 
-def _deep_merge(base: Dict[str, Any],
-                override: Dict[str, Any]) -> Dict[str, Any]:
+def deep_merge(base: Dict[str, Any],
+               override: Dict[str, Any]) -> Dict[str, Any]:
+    """Recursively merge ``override`` into a copy of ``base``.
+
+    Shared by sweep ``points`` expansion and the DSE search-space
+    translator (:mod:`repro.dse.space`), so both layers override platform
+    documents with identical semantics.
+    """
     merged = dict(base)
     for key, value in override.items():
         if isinstance(value, dict) and isinstance(merged.get(key), dict):
-            merged[key] = _deep_merge(merged[key], value)
+            merged[key] = deep_merge(merged[key], value)
         else:
             merged[key] = value
     return merged
 
 
-def _set_dotted(document: Dict[str, Any], dotted: str, value: Any) -> None:
+def set_dotted(document: Dict[str, Any], dotted: str, value: Any) -> None:
+    """Set a dotted-path key (``"memory.wait_states"``) in ``document``."""
     parts = dotted.split(".")
     node = document
     for part in parts[:-1]:
@@ -535,6 +542,11 @@ def _set_dotted(document: Dict[str, Any], dotted: str, value: Any) -> None:
             node[part] = child
         node = child
     node[parts[-1]] = value
+
+
+# Historical aliases (pre-DSE internal names).
+_deep_merge = deep_merge
+_set_dotted = set_dotted
 
 
 def parse_sweep(document: Dict[str, Any]) -> SweepSpec:
@@ -579,12 +591,12 @@ def parse_sweep(document: Dict[str, Any]) -> SweepSpec:
             raise ConfigError(f"sweep.points[{number}]: must be an object")
         point = dict(point)
         point_label = str(point.pop("label", f"point{number}"))
-        merged = _deep_merge(base, point)
+        merged = deep_merge(base, point)
         for combo in itertools.product(*(values for _, values in axes)):
             expanded = json.loads(json.dumps(merged))  # deep copy
             tags = []
             for (path, _values), value in zip(axes, combo):
-                _set_dotted(expanded, path, value)
+                set_dotted(expanded, path, value)
                 tags.append(f"{path}={value}")
             label = ",".join([point_label] + tags) if tags else point_label
             try:

@@ -128,6 +128,32 @@ def test_plan_steps_reflect_spec_diff():
     assert "direct store-and-forward" in same.describe()
 
 
+class TestPlanProperties:
+    """Registry-derived plan facts, over pairs sampled from the shared
+    :mod:`tests.strategies` pool (the same pool the DSE cost model and
+    the pairwise conservation suite draw from)."""
+
+    def test_sampled_pairs_have_stable_positive_wire_cost(self):
+        pytest.importorskip("hypothesis")
+        from hypothesis import given
+
+        from .strategies import FAST_SETTINGS, bridge_pairs
+
+        @FAST_SETTINGS
+        @given(pair=bridge_pairs())
+        def run_one(pair):
+            src, dst = pair
+            plan = conversion_plan(src, dst)
+            again = conversion_plan(src, dst)
+            assert plan == again  # derivation is a pure function
+            # The DSE cost model's bridge term: one full port per side,
+            # monotone in data width.
+            assert plan.wire_bits() > 0
+            assert plan.wire_bits(8, 8) >= plan.wire_bits(4, 4)
+
+        run_one()
+
+
 class TestPairValidation:
     """Satellite regression: unsupported pairings fail loudly at build
     time (they used to build silently and deadlock at runtime)."""

@@ -54,7 +54,8 @@ def test_internal_links_resolve(doc):
 #: Docs that anchor their claims to source files: every ``src/repro/...``
 #: or ``tests/...`` path they mention (links or inline code) must exist.
 _ANCHORED_DOCS = ("ARCHITECTURE.md", "PERFORMANCE.md", "OBSERVABILITY.md",
-                  "CORRECTNESS.md", "CI.md", "FAST_SIM.md", "GLOSSARY.md")
+                  "CORRECTNESS.md", "CI.md", "FAST_SIM.md", "GLOSSARY.md",
+                  "DSE.md")
 
 
 @pytest.mark.parametrize("name", _ANCHORED_DOCS)

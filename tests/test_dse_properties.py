@@ -1,0 +1,257 @@
+"""Property tests for the DSE search core (see docs/DSE.md).
+
+Search code fails quietly: a dominated point that survives on a "front"
+still looks like a plausible answer.  These properties pin the core
+invariants over hypothesis-generated populations and search spaces,
+independently of any optimizer run:
+
+* no front member is dominated by any evaluated point, and every point
+  excluded from the front is strictly dominated by some member;
+* fronts are insertion-order independent, idempotent, and the
+  incremental archive agrees with the batch computation;
+* the independent verifier accepts exactly the true front and rejects
+  doctored ones (it is not vacuous);
+* bounded-drift pruning never discards a true-front member while the
+  screening error respects its per-objective bound;
+* search spaces enumerate exactly the conflict-free assignments, and
+  the variation operators only ever produce valid candidates.
+
+Everything here is pure (no simulation), so the example counts can be
+much higher than the platform-fuzz tier's.
+"""
+
+import random
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, strategies as st
+
+from repro.dse import (
+    ParetoArchive,
+    Point,
+    dominates,
+    pareto_front,
+    prune_screened,
+    verify_front,
+)
+from repro.dse.pareto import check_vector
+
+from .strategies import (
+    FAST_SETTINGS,
+    FUZZ_SETTINGS,
+    dse_search_spaces,
+    labeled_populations,
+    objective_vectors,
+)
+
+
+class TestDominance:
+    @FAST_SETTINGS
+    @given(v=objective_vectors(3))
+    def test_irreflexive(self, v):
+        assert not dominates(v, v)
+
+    @FAST_SETTINGS
+    @given(a=objective_vectors(3), b=objective_vectors(3))
+    def test_antisymmetric(self, a, b):
+        assert not (dominates(a, b) and dominates(b, a))
+
+    @FAST_SETTINGS
+    @given(a=objective_vectors(2), b=objective_vectors(2),
+           c=objective_vectors(2))
+    def test_transitive(self, a, b, c):
+        if dominates(a, b) and dominates(b, c):
+            assert dominates(a, c)
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="dimension"):
+            dominates((1.0,), (1.0, 2.0))
+
+    def test_vectors_must_be_finite_and_non_negative(self):
+        with pytest.raises(ValueError):
+            check_vector((1.0, -0.5))
+        with pytest.raises(ValueError):
+            check_vector((float("nan"),))
+        with pytest.raises(ValueError):
+            check_vector((float("inf"),))
+
+
+class TestParetoFront:
+    @FAST_SETTINGS
+    @given(population=labeled_populations())
+    def test_no_member_dominated(self, population):
+        front = pareto_front(population)
+        assert front  # a non-empty population always has a minimum
+        for member in front:
+            assert not any(dominates(other.vector, member.vector)
+                           for other in population)
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations())
+    def test_every_excluded_point_is_dominated(self, population):
+        front = pareto_front(population)
+        front_keys = {member.key for member in front}
+        for point in population:
+            if point.key not in front_keys:
+                assert any(dominates(member.vector, point.vector)
+                           for member in front)
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations(), seed=st.integers(0, 2**16))
+    def test_insertion_order_independent(self, population, seed):
+        shuffled = list(population)
+        random.Random(seed).shuffle(shuffled)
+        assert pareto_front(shuffled) == pareto_front(population)
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations())
+    def test_idempotent(self, population):
+        front = pareto_front(population)
+        assert pareto_front(front) == front
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations(), seed=st.integers(0, 2**16))
+    def test_archive_agrees_with_batch_front(self, population, seed):
+        shuffled = list(population)
+        random.Random(seed).shuffle(shuffled)
+        archive = ParetoArchive()
+        for point in shuffled:
+            archive.add(point)
+        assert archive.front() == pareto_front(population)
+        assert sorted(p.key for p in archive.points()) == \
+            sorted(p.key for p in population)
+
+    def test_duplicate_keys_rejected(self):
+        points = [Point("a", (1.0,)), Point("a", (2.0,))]
+        with pytest.raises(ValueError, match="duplicate"):
+            pareto_front(points)
+        archive = ParetoArchive()
+        archive.add(points[0])
+        with pytest.raises(ValueError, match="already archived"):
+            archive.add(points[1])
+
+    def test_equal_vectors_all_stay_on_front(self):
+        points = [Point("a", (1.0, 2.0)), Point("b", (1.0, 2.0)),
+                  Point("c", (3.0, 3.0))]
+        assert [p.key for p in pareto_front(points)] == ["a", "b"]
+
+
+class TestVerifier:
+    @FAST_SETTINGS
+    @given(population=labeled_populations())
+    def test_accepts_the_true_front(self, population):
+        assert verify_front(pareto_front(population), population) == []
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations(min_size=2))
+    def test_rejects_front_with_dominated_member(self, population):
+        front = pareto_front(population)
+        front_keys = {member.key for member in front}
+        dominated = [p for p in population if p.key not in front_keys]
+        if not dominated:
+            return  # the whole population is non-dominated
+        doctored = front + [dominated[0]]
+        problems = verify_front(doctored, population)
+        assert any("dominated" in problem for problem in problems)
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations(min_size=2))
+    def test_rejects_front_missing_a_member(self, population):
+        front = pareto_front(population)
+        if len(front) < 2:
+            return  # dropping the only member leaves nothing to audit
+        problems = verify_front(front[1:], population)
+        assert any("missing" in problem for problem in problems)
+
+    def test_rejects_unknown_and_disagreeing_members(self):
+        population = [Point("a", (1.0,)), Point("b", (2.0,))]
+        problems = verify_front([Point("ghost", (0.5,))], population)
+        assert any("not in the population" in p for p in problems)
+        problems = verify_front([Point("a", (0.9,))], population)
+        assert any("disagrees" in p for p in problems)
+
+
+def _perturb(vector, drifts, rng):
+    """A screened vector whose error respects each objective's bound."""
+    out = []
+    for value, (kind, bound) in zip(vector, drifts):
+        wobble = rng.uniform(-1.0, 1.0)
+        if kind == "rel":
+            # |true - screen| <= bound * screen  <=>  screen in
+            # [true / (1 + bound), true / (1 - bound)); stay inside.
+            screen = value / (1 + wobble * bound * 0.99)
+        else:
+            screen = max(0.0, value + wobble * bound)
+        out.append(screen)
+    return tuple(out)
+
+
+class TestPruning:
+    DRIFTS = (("rel", 0.08), ("abs", 0.02), ("rel", 0.0))
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations(min_dimensions=3,
+                                          max_dimensions=3),
+           seed=st.integers(0, 2**16))
+    def test_never_prunes_a_true_front_member(self, population, seed):
+        rng = random.Random(seed)
+        true_front_keys = {m.key for m in pareto_front(population)}
+        screened = [Point(p.key, _perturb(p.vector, self.DRIFTS, rng))
+                    for p in population]
+        survivors, pruned = prune_screened(screened, self.DRIFTS)
+        assert {p.key for p in survivors} | {p.key for p in pruned} == \
+            {p.key for p in population}
+        assert not ({p.key for p in pruned} & true_front_keys)
+
+    @FAST_SETTINGS
+    @given(population=labeled_populations())
+    def test_zero_drift_prunes_exactly_strictly_worse_everywhere(
+            self, population):
+        drifts = [("rel", 0.0)] * len(population[0].vector)
+        survivors, pruned = prune_screened(population, drifts)
+        for victim in pruned:
+            assert any(all(o < v for o, v in zip(other.vector,
+                                                 victim.vector))
+                       for other in population if other.key != victim.key)
+        front_keys = {m.key for m in pareto_front(population)}
+        assert front_keys <= {p.key for p in survivors}
+
+    def test_drift_bound_count_must_match(self):
+        with pytest.raises(ValueError, match="drift"):
+            prune_screened([Point("a", (1.0, 2.0))], [("rel", 0.1)])
+
+
+class TestSearchSpaces:
+    @FUZZ_SETTINGS
+    @given(spec=dse_search_spaces())
+    def test_enumeration_is_exactly_the_conflict_free_set(self, spec):
+        space = spec.space
+        candidates = list(space.candidates())
+        assert len(candidates) <= space.size()
+        assert len(set(candidates)) == len(candidates)
+        for candidate in candidates:
+            assert space.conflict(candidate) is None
+        labels = [space.label(c) for c in candidates]
+        assert len(set(labels)) == len(labels)
+
+    @FUZZ_SETTINGS
+    @given(spec=dse_search_spaces(), seed=st.integers(0, 2**16))
+    def test_variation_operators_only_produce_valid_candidates(
+            self, spec, seed):
+        space = spec.space
+        rng = random.Random(seed)
+        a = space.random_candidate(rng)
+        b = space.random_candidate(rng)
+        for candidate in (a, b, space.mutate(a, rng),
+                          space.crossover(a, b, rng)):
+            assert space.conflict(candidate) is None
+            space.config(candidate)  # elaborates without error
+
+    @FUZZ_SETTINGS
+    @given(spec=dse_search_spaces(), seed=st.integers(0, 2**16))
+    def test_document_building_is_deterministic(self, spec, seed):
+        space = spec.space
+        candidate = space.random_candidate(random.Random(seed))
+        assert space.document(candidate) == space.document(candidate)

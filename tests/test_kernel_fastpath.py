@@ -291,13 +291,15 @@ class TestDifferentialBitIdentity:
         assert outcome.fast_now == outcome.reference_now
 
     def test_hypothesis_randomized_configs(self):
-        hypothesis = pytest.importorskip("hypothesis")
-        from hypothesis import given, settings, strategies as st
+        pytest.importorskip("hypothesis")
+        from hypothesis import given, settings
 
         from repro.check import CheckedRun, random_config
 
+        from .strategies import config_seeds
+
         @settings(max_examples=25, derandomize=True, deadline=None)
-        @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+        @given(seed=config_seeds)
         def run_one(seed):
             outcome = CheckedRun(random_config(seed))
             assert outcome.ok, outcome.format()

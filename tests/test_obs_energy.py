@@ -51,7 +51,8 @@ def _enabled(config):
 def _example_configs():
     """Every platform config reachable from the committed examples.
 
-    Sweep spec files contribute each of their expanded points, so new
+    Sweep spec files contribute each of their expanded points and DSE
+    spec files the extremes of their candidate enumeration, so new
     example files are covered automatically whichever schema they use.
     """
     cases = []
@@ -63,6 +64,14 @@ def _example_configs():
             spec = load_sweep(str(path))
             cases.extend((f"{path.name}:{label}", config)
                          for label, config in zip(spec.labels, spec.configs))
+        elif "axes" in document:
+            from repro.dse import load_dse
+
+            space = load_dse(str(path)).space
+            candidates = list(space.candidates())
+            for candidate in {candidates[0], candidates[-1]}:
+                cases.append((f"{path.name}:{space.label(candidate)}",
+                              space.config(candidate)))
         else:
             cases.append((path.name, load_config(str(path))))
     return cases

@@ -1,52 +1,17 @@
 """Configuration-space fuzzing: random platform documents must either be
-rejected with a clear error or build and run to completion."""
+rejected with a clear error or build and run to completion.
 
-from hypothesis import HealthCheck, given, settings, strategies as st
+The document strategy lives in :mod:`tests.strategies` so the DSE and
+differential property suites fuzz the same configuration space.
+"""
+
+from hypothesis import given
 
 from repro.core import Simulator
 from repro.platforms import build_platform
 from repro.platforms.loader import config_from_dict
 
-_SETTINGS = settings(max_examples=12, deadline=None,
-                     suppress_health_check=[HealthCheck.too_slow])
-
-
-@st.composite
-def platform_documents(draw):
-    """A random (valid) platform document, small enough to run quickly."""
-    protocol = draw(st.sampled_from(["stbus", "ahb", "axi"]))
-    topology = draw(st.sampled_from(["distributed", "collapsed"]))
-    clusters = []
-    for c in range(draw(st.integers(1, 2))):
-        ips = []
-        for i in range(draw(st.integers(1, 2))):
-            ips.append({
-                "name": f"ip{c}_{i}",
-                "transactions": draw(st.integers(2, 8)),
-                "burst_beats": draw(st.sampled_from([1, 4, 8])),
-                "read_fraction": draw(st.sampled_from([0.0, 0.5, 1.0])),
-                "idle_cycles": draw(st.integers(0, 8)),
-                "message_packets": draw(st.sampled_from([1, 2])),
-                "max_outstanding": draw(st.integers(1, 4)),
-            })
-        clusters.append({
-            "name": f"c{c}",
-            "freq_mhz": draw(st.sampled_from([125, 166, 200, 250])),
-            "data_width_bytes": draw(st.sampled_from([4, 8])),
-            "stbus_type": draw(st.sampled_from([1, 2, 3])),
-            "ips": ips,
-        })
-    memory = {"kind": draw(st.sampled_from(["onchip", "lmi"]))}
-    if memory["kind"] == "onchip":
-        memory["wait_states"] = draw(st.integers(0, 4))
-    return {
-        "protocol": protocol,
-        "topology": topology,
-        "memory": memory,
-        "cpu": {"enabled": False},
-        "clusters": clusters,
-        "seed": draw(st.integers(1, 50)),
-    }
+from .strategies import FUZZ_SETTINGS as _SETTINGS, platform_documents
 
 
 class TestConfigurationFuzz:

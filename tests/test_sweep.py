@@ -189,6 +189,30 @@ class TestSweepEngine:
                 (expected.events, expected.sim_time_ps)
             assert actual.result == expected.result
 
+    def test_mixed_hits_and_misses_aggregate_in_input_order_under_jobs(
+            self, tmp_path):
+        """Regression: a jobs>1 sweep over a *partially* warm cache (some
+        points hit, some simulate in the pool) must aggregate exactly
+        like a cold serial sweep — byte-identical results, input order.
+        Plain jobs=2 sweeps were covered; the hit/miss interleaving was
+        not."""
+        configs = [quick_config(traffic_scale=0.05 + 0.02 * i)
+                   for i in range(4)]
+        cache = SweepCache(tmp_path / "cache")
+        # Warm only the odd points, so hits and misses interleave.
+        sweep([configs[1], configs[3]], max_ps=QUICK_MAX_PS, jobs=1,
+              cache=cache)
+        mixed = sweep(configs, max_ps=QUICK_MAX_PS, jobs=2, cache=cache)
+        assert [outcome.cached for outcome in mixed] == \
+            [False, True, False, True]
+        cold = sweep(configs, max_ps=QUICK_MAX_PS, jobs=1, cache=False)
+        assert [json.dumps(result_to_dict(m.result), sort_keys=True)
+                for m in mixed] == \
+            [json.dumps(result_to_dict(c.result), sort_keys=True)
+             for c in cold]
+        assert [(m.key, m.events, m.sim_time_ps) for m in mixed] == \
+            [(c.key, c.events, c.sim_time_ps) for c in cold]
+
 
 class TestPoolResilience:
     def test_crashed_worker_is_retried(self, tmp_path):
@@ -429,6 +453,31 @@ class TestWarmSweep:
         assert warmed[0].result == plain[0].result
         assert (warmed[0].events, warmed[0].sim_time_ps) == \
             (plain[0].events, plain[0].sim_time_ps)
+
+    def test_partially_warm_start_matches_pooled_sweep_bit_for_bit(
+            self, tmp_path):
+        """Regression: a warm-started sweep where resumed and cold points
+        interleave must agree byte-for-byte, in input order, with a
+        pooled ``jobs=2`` sweep of the same list — the determinism
+        contract spans both engines and both hit/miss interleavings."""
+        from repro.sweep import warm_sweep
+
+        configs = [quick_config(traffic_scale=0.05 + 0.02 * i)
+                   for i in range(4)]
+        # Checkpoint only the odd points, so the full pass interleaves
+        # resumed (cached) and freshly-simulated points.
+        warm_sweep([configs[1], configs[3]], tmp_path / "warm",
+                   max_ps=QUICK_MAX_PS)
+        mixed = warm_sweep(configs, tmp_path / "warm", max_ps=QUICK_MAX_PS)
+        assert [outcome.cached for outcome in mixed] == \
+            [False, True, False, True]
+        pooled = sweep(configs, max_ps=QUICK_MAX_PS, jobs=2, cache=False)
+        assert [json.dumps(result_to_dict(m.result), sort_keys=True)
+                for m in mixed] == \
+            [json.dumps(result_to_dict(p.result), sort_keys=True)
+             for p in pooled]
+        assert [(m.key, m.events, m.sim_time_ps) for m in mixed] == \
+            [(p.key, p.events, p.sim_time_ps) for p in pooled]
 
     def test_tampered_checkpoint_fails_the_sweep(self, tmp_path):
         from repro.sweep import warm_sweep

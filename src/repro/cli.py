@@ -663,6 +663,190 @@ def cmd_protocols(args) -> int:
     return 0
 
 
+def _service_endpoint(url: str) -> Tuple[str, int]:
+    """Split ``--url http://host:port`` into a client endpoint."""
+    from urllib.parse import urlsplit
+
+    split = urlsplit(url if "//" in url else f"http://{url}")
+    return split.hostname or "127.0.0.1", split.port or 8458
+
+
+def cmd_serve(args) -> int:
+    """Run the simulation job service in the foreground.
+
+    Accepts config/sweep submissions over HTTP (and optionally a local
+    socket), shards them across the worker fleet, dedupes through the
+    shared sweep cache and streams progress back — see docs/SERVICE.md.
+    """
+    import asyncio
+
+    from .service import ServiceConfig, ServiceServer
+
+    if args.no_cache:
+        cache = False
+    else:
+        cache = args.cache_dir  # None = the default on-disk sweep cache
+    server = ServiceServer(ServiceConfig(
+        host=args.host, port=args.port, socket_path=args.socket,
+        fleet=args.workers, quota_units=args.quota,
+        slice_ps=int(args.slice_us * 1_000_000),
+        use_processes=args.processes, cache=cache))
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"repro service listening on "
+              f"http://{args.host}:{server.port} "
+              f"({args.workers} worker(s), quota {args.quota} "
+              f"unit(s)/tenant)")
+        if args.socket:
+            print(f"local-socket queue: {args.socket}")
+        try:
+            assert server._http_server is not None
+            await server._http_server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("\nservice stopped")
+    return 0
+
+
+def _load_submission_target(path: str) -> Dict:
+    """A submit target is a platform config or a sweep spec file."""
+    import json
+
+    from .platforms.loader import ConfigError
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            document = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ConfigError(f"{path}: not a readable JSON file ({exc})") \
+            from exc
+    if not isinstance(document, dict):
+        raise ConfigError(f"{path}: top level must be an object")
+    if "points" in document or "grid" in document or "base" in document:
+        return {"sweep": document}
+    return {"config": document}
+
+
+def cmd_submit(args) -> int:
+    """Submit a config/sweep file to a running service."""
+    from .platforms.loader import ConfigError
+    from .service import ServiceClient, ServiceError
+
+    try:
+        submission = _load_submission_target(args.spec)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    submission["tenant"] = args.tenant
+    submission["priority"] = args.priority
+    if args.max_us is not None:
+        submission["max_us"] = args.max_us
+    if args.trace:
+        submission["trace"] = True
+    if args.preemptible:
+        submission["preemptible"] = True
+    if args.checkpoint_at_us is not None:
+        submission["checkpoint_at_us"] = args.checkpoint_at_us
+
+    host, port = _service_endpoint(args.url)
+    client = ServiceClient(host, port)
+    try:
+        job = client.submit(submission)
+        print(f"submitted {job['id']} "
+              f"({job['progress']['units']} unit(s), "
+              f"priority {job['priority']}, tenant {job['tenant']})")
+        if not args.wait:
+            return 0
+        outcome = client.result(job["id"], wait=True, timeout=args.timeout)
+    except ServiceError as exc:
+        print(f"error [{exc.kind}]: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach the service at {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
+    return _print_job_results(outcome)
+
+
+def _print_job_results(outcome: Dict) -> int:
+    rows = []
+    for row in outcome["results"]:
+        result = row.get("result") or {}
+        exec_ns = result.get("execution_time_ps", 0) / 1000
+        rows.append([row["label"], row["state"],
+                     row.get("cached") or "run",
+                     row.get("preemptions", 0),
+                     f"{exec_ns:.1f}", result.get("transactions", "-")])
+    print(format_table(
+        ["unit", "state", "source", "preempts", "exec (ns)", "txns"], rows))
+    print(f"\njob {outcome['id']}: {outcome['state']}")
+    if outcome.get("error"):
+        print(f"error: {outcome['error']}", file=sys.stderr)
+    return 0 if outcome["state"] == "done" else 1
+
+
+def cmd_jobs(args) -> int:
+    """Inspect a running service: jobs, results, events, workers."""
+    from .service import ServiceClient, ServiceError
+
+    host, port = _service_endpoint(args.url)
+    client = ServiceClient(host, port)
+    try:
+        if args.drain:
+            worker = client.drain(args.drain)
+            print(f"{worker['name']}: {worker['state']}")
+            return 0
+        if args.undrain:
+            worker = client.undrain(args.undrain)
+            print(f"{worker['name']}: {worker['state']}")
+            return 0
+        if args.workers:
+            rows = [[w["name"], w["state"], w["completed"], w["preempted"]]
+                    for w in client.workers()]
+            print(format_table(
+                ["worker", "state", "completed", "preempted"], rows))
+            return 0
+        if args.job is None:
+            rows = [[j["id"], j["tenant"], j["priority"], j["state"],
+                     f"{j['progress']['done']}/{j['progress']['units']}"]
+                    for j in client.jobs(args.tenant)]
+            print(format_table(
+                ["job", "tenant", "priority", "state", "done"], rows))
+            return 0
+        if args.events:
+            for event in client.events(args.job, since=args.since):
+                detail = {key: value for key, value in event.items()
+                          if key not in ("seq", "event", "job")}
+                print(f"{event['seq']:>5}  {event['event']:<16} {detail}")
+            return 0
+        if args.result:
+            outcome = client.result(args.job, wait=args.wait,
+                                    timeout=args.timeout)
+            return _print_job_results(outcome)
+        view = client.job(args.job)
+        print(f"job {view['id']}: tenant={view['tenant']} "
+              f"priority={view['priority']} state={view['state']} "
+              f"done={view['progress']['done']}/{view['progress']['units']}")
+        for unit in view["units"]:
+            print(f"  [{unit['index']}] {unit['label']}: {unit['state']}"
+                  + (f" (worker {unit['worker']})" if unit["worker"] else "")
+                  + (f" preempted x{unit['preemptions']}"
+                     if unit["preemptions"] else ""))
+        return 0
+    except ServiceError as exc:
+        print(f"error [{exc.kind}]: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"error: cannot reach the service at {args.url}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
 def cmd_bench(args) -> int:
     from . import bench
 
@@ -894,6 +1078,94 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--output", default="BENCH_kernel.json",
                               help="result file (default BENCH_kernel.json)")
     bench_parser.set_defaults(func=cmd_bench)
+
+    serve_parser = sub.add_parser(
+        "serve", help="run the simulation job service (docs/SERVICE.md)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument("--port", type=int, default=8458,
+                              help="HTTP port (default 8458; 0 = ephemeral)")
+    serve_parser.add_argument("--socket", default=None, metavar="PATH",
+                              help="also serve the JSONL queue on this "
+                                   "local socket")
+    serve_parser.add_argument("--workers", type=int, default=2,
+                              help="worker fleet size (default 2)")
+    serve_parser.add_argument("--quota", type=int, default=64,
+                              help="per-tenant in-flight unit quota "
+                                   "(default 64)")
+    serve_parser.add_argument("--slice-us", type=float, default=1.0,
+                              help="preemption slice for preemptible jobs, "
+                                   "in simulated us (default 1.0)")
+    serve_parser.add_argument("--processes", action="store_true",
+                              help="offload plain units to a process pool "
+                                   "(the sweep executor)")
+    serve_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="shared sweep-cache directory "
+                                   "(default: .repro_cache)")
+    serve_parser.add_argument("--no-cache", action="store_true",
+                              help="disable the shared result cache")
+    serve_parser.set_defaults(func=cmd_serve)
+
+    submit_parser = sub.add_parser(
+        "submit", help="submit a platform config or sweep file to a "
+                       "running service")
+    submit_parser.add_argument("spec",
+                               help="platform config or sweep JSON file")
+    submit_parser.add_argument("--url", default="http://127.0.0.1:8458",
+                               help="service endpoint "
+                                    "(default http://127.0.0.1:8458)")
+    submit_parser.add_argument("--tenant", default="cli",
+                               help="tenant the job is accounted to "
+                                    "(default 'cli')")
+    submit_parser.add_argument("--priority", default="normal",
+                               choices=("interactive", "normal", "batch"),
+                               help="priority lane (default normal)")
+    submit_parser.add_argument("--max-us", type=float, default=None,
+                               help="simulated-time bound per unit")
+    submit_parser.add_argument("--trace", action="store_true",
+                               help="capture a Perfetto trace "
+                                    "(GET /jobs/<id>/trace)")
+    submit_parser.add_argument("--preemptible", action="store_true",
+                               help="allow drain-time checkpointing")
+    submit_parser.add_argument("--checkpoint-at-us", type=float, default=None,
+                               help="force one preemption at this simulated "
+                                    "instant (implies --preemptible)")
+    submit_parser.add_argument("--wait", action="store_true",
+                               help="block until the job finishes and print "
+                                    "its results")
+    submit_parser.add_argument("--timeout", type=float, default=600.0,
+                               help="--wait timeout in seconds (default 600)")
+    submit_parser.set_defaults(func=cmd_submit)
+
+    jobs_parser = sub.add_parser(
+        "jobs", help="inspect a running service: jobs, results, events, "
+                     "workers")
+    jobs_parser.add_argument("job", nargs="?", default=None,
+                             help="job id to inspect (default: list jobs)")
+    jobs_parser.add_argument("--url", default="http://127.0.0.1:8458",
+                             help="service endpoint "
+                                  "(default http://127.0.0.1:8458)")
+    jobs_parser.add_argument("--tenant", default=None,
+                             help="filter the job list by tenant")
+    jobs_parser.add_argument("--result", action="store_true",
+                             help="print the job's per-unit results")
+    jobs_parser.add_argument("--wait", action="store_true",
+                             help="with --result: block until terminal")
+    jobs_parser.add_argument("--timeout", type=float, default=600.0,
+                             help="--wait timeout in seconds (default 600)")
+    jobs_parser.add_argument("--events", action="store_true",
+                             help="print the job's event log")
+    jobs_parser.add_argument("--since", type=int, default=0,
+                             help="with --events: only events after this "
+                                  "sequence number")
+    jobs_parser.add_argument("--workers", action="store_true",
+                             help="show the worker fleet instead of jobs")
+    jobs_parser.add_argument("--drain", default=None, metavar="WORKER",
+                             help="drain a worker (preempts its "
+                                  "preemptible unit)")
+    jobs_parser.add_argument("--undrain", default=None, metavar="WORKER",
+                             help="return a drained worker to service")
+    jobs_parser.set_defaults(func=cmd_jobs)
     return parser
 
 

@@ -1,0 +1,167 @@
+"""Blocking client for the job service (CLI, tests, scripts).
+
+One HTTP connection per call (the server closes connections after each
+response), so a :class:`ServiceClient` is cheap, stateless and safe to
+share across threads.  Error responses are re-raised as the same typed
+:class:`~repro.service.protocol.ServiceError` subclasses the server
+threw — a quota rejection surfaces as :class:`QuotaExceeded` on the
+client too, never as a bare status code.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from typing import Any, Dict, Iterator, List, Optional
+
+from .protocol import (
+    ProtocolError,
+    decode_line,
+    encode_line,
+    error_from_document,
+)
+
+
+class ServiceClient:
+    """Talk to a running service over HTTP."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8458,
+                 timeout: float = 600.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # plumbing
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            payload = None if body is None else \
+                json.dumps(body).encode("utf-8")
+            headers = {"Content-Type": "application/json"} if payload else {}
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            return self._decode(response.status, raw)
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(status: int, raw: bytes) -> Dict[str, Any]:
+        try:
+            document = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                f"service returned non-JSON (HTTP {status}): {exc}") from exc
+        if status >= 400 or "error" in document:
+            raise error_from_document(document)
+        return document
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def submit(self, submission: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit a job; returns its public view (``view["id"]``)."""
+        return self._request("POST", "/jobs", body=submission)["job"]
+
+    def job(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self, tenant: Optional[str] = None) -> List[Dict[str, Any]]:
+        path = "/jobs" if tenant is None else f"/jobs?tenant={tenant}"
+        return self._request("GET", path)["jobs"]
+
+    def result(self, job_id: str, wait: bool = True,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Ordered per-unit results; blocks until terminal by default."""
+        path = f"/jobs/{job_id}/result"
+        if wait:
+            path += "?wait=1"
+            if timeout is not None:
+                path += f"&timeout={timeout}"
+        return self._request("GET", path)
+
+    def events(self, job_id: str,
+               since: int = 0) -> List[Dict[str, Any]]:
+        """Snapshot of the job's event log after ``since``."""
+        return self._request(
+            "GET", f"/jobs/{job_id}/events?since={since}")["events"]
+
+    def stream_events(self, job_id: str,
+                      since: int = 0) -> Iterator[Dict[str, Any]]:
+        """Live event stream; yields until the job reaches a terminal
+        state (the server ends the chunked response there)."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                "GET", f"/jobs/{job_id}/events?since={since}&follow=1")
+            response = connection.getresponse()
+            if response.status >= 400:
+                self._decode(response.status, response.read())
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield decode_line(line)
+        finally:
+            connection.close()
+
+    def trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's merged Perfetto trace document."""
+        return self._request("GET", f"/jobs/{job_id}/trace")
+
+    def workers(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/workers")["workers"]
+
+    def drain(self, worker: str) -> Dict[str, Any]:
+        return self._request("POST", f"/workers/{worker}/drain")["worker"]
+
+    def undrain(self, worker: str) -> Dict[str, Any]:
+        return self._request("POST", f"/workers/{worker}/undrain")["worker"]
+
+
+class SocketClient:
+    """Talk to the local-socket queue front end (one op per call)."""
+
+    def __init__(self, path: str, timeout: float = 600.0) -> None:
+        self.path = path
+        self.timeout = timeout
+
+    def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.settimeout(self.timeout)
+            sock.connect(self.path)
+            sock.sendall(encode_line(message))
+            handle = sock.makefile("rb")
+            line = handle.readline()
+        if not line:
+            raise ProtocolError("service closed the socket without replying")
+        document = decode_line(line)
+        if "error" in document:
+            raise error_from_document(document)
+        return document
+
+    def health(self) -> Dict[str, Any]:
+        return self.request({"op": "health"})
+
+    def submit(self, submission: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request({"op": "submit",
+                             "submission": submission})["job"]
+
+    def result(self, job_id: str, wait: bool = True,
+               timeout: Optional[float] = None) -> Dict[str, Any]:
+        message: Dict[str, Any] = {"op": "result", "job": job_id,
+                                   "wait": wait}
+        if timeout is not None:
+            message["timeout"] = timeout
+        return self.request(message)

@@ -1,0 +1,285 @@
+"""Job and work-unit bookkeeping for the service (``docs/SERVICE.md``).
+
+A submitted job shards into one :class:`Unit` per platform configuration
+(a single-config job has one unit; a sweep job has one per expanded
+point).  The queue owns:
+
+* **multi-tenant quotas** — each tenant may have at most
+  ``quota_units`` units queued or running; a submission that would
+  exceed the quota is refused with the typed
+  :class:`~repro.service.protocol.QuotaExceeded` *before* anything is
+  enqueued (never a hang);
+* **priority lanes** — ``interactive`` > ``normal`` > ``batch``; the
+  scheduler always takes the lowest ``(lane rank, job seq, unit index)``
+  unit, so ordering under a saturated fleet is a pure function of the
+  submission sequence;
+* **the event log** — every state transition appends a monotonically
+  sequenced event to the owning job, and any number of async waiters
+  (HTTP event streams, the scheduler's dispatch loop) are woken.
+
+The queue itself is loop-agnostic plain state: every mutation happens on
+the server's event-loop thread (or directly in tests), so no locks are
+needed; only :meth:`JobQueue.wait` touches asyncio.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..platforms.config import PlatformConfig
+from ..sweep import config_key
+from .protocol import QuotaExceeded, Submission, UnknownJob, lane_rank
+
+#: Default per-tenant cap on units queued or running at once.
+DEFAULT_QUOTA_UNITS = 64
+
+
+@dataclass
+class Unit:
+    """One schedulable configuration of a job."""
+
+    job: "Job"
+    index: int
+    label: str
+    config: PlatformConfig
+    key: str
+    max_ps: int
+    state: str = "queued"
+    #: ``None`` for a fresh simulation, else the dedupe source
+    #: ("cache" = shared on-disk store, "inflight" = coalesced with a
+    #: unit already executing in this service).
+    cached: Optional[str] = None
+    worker: Optional[str] = None
+    last_worker: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+    events: int = 0
+    sim_time_ps: int = 0
+    trace: Optional[Dict[str, Any]] = None
+    #: A pending resume point: set when the unit was preempted, consumed
+    #: by the worker that picks it up next.
+    checkpoint: Optional[Dict[str, Any]] = None
+    preemptions: int = 0
+    error: Optional[str] = None
+
+    @property
+    def sort_key(self) -> Tuple[int, int, int]:
+        return (lane_rank(self.job.lane), self.job.seq, self.index)
+
+    def view(self) -> Dict[str, Any]:
+        view: Dict[str, Any] = {
+            "index": self.index,
+            "label": self.label,
+            "state": self.state,
+            "cached": self.cached,
+            "worker": self.worker,
+            "preemptions": self.preemptions,
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        return view
+
+
+@dataclass
+class Job:
+    """One submission: metadata, its units, and its event log."""
+
+    id: str
+    seq: int
+    tenant: str
+    lane: str
+    kind: str
+    units: List[Unit] = field(default_factory=list)
+    state: str = "queued"
+    error: Optional[str] = None
+    events: List[Dict[str, Any]] = field(default_factory=list)
+    trace_requested: bool = False
+    preemptible: bool = False
+    #: Forced one-shot preemption instant (simulated ps), or ``None``.
+    checkpoint_at_ps: Optional[int] = None
+
+    def progress(self) -> Dict[str, int]:
+        done = sum(1 for unit in self.units if unit.state == "done")
+        return {"units": len(self.units), "done": done}
+
+    def view(self) -> Dict[str, Any]:
+        view: Dict[str, Any] = {
+            "id": self.id,
+            "tenant": self.tenant,
+            "priority": self.lane,
+            "kind": self.kind,
+            "state": self.state,
+            "progress": self.progress(),
+            "units": [unit.view() for unit in self.units],
+        }
+        if self.error is not None:
+            view["error"] = self.error
+        return view
+
+    def results(self) -> List[Dict[str, Any]]:
+        """Per-unit outcomes in submission (point) order."""
+        rows = []
+        for unit in self.units:
+            rows.append({
+                "label": unit.label,
+                "state": unit.state,
+                "cached": unit.cached,
+                "preemptions": unit.preemptions,
+                "result": unit.result,
+            })
+        return rows
+
+
+class JobQueue:
+    """Submission intake, quota enforcement, and deterministic ordering."""
+
+    def __init__(self, quota_units: int = DEFAULT_QUOTA_UNITS) -> None:
+        self.quota_units = int(quota_units)
+        self.jobs: Dict[str, Job] = {}
+        self._order: List[Job] = []
+        self._seq = 0
+        self._event_seq = 0
+        self._waiters: List["asyncio.Future[None]"] = []
+        #: Called after every recorded event (tests hook this).
+        self.on_event: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    # ------------------------------------------------------------------
+    # intake
+    # ------------------------------------------------------------------
+    def active_units(self, tenant: str) -> int:
+        return sum(1 for job in self._order if job.tenant == tenant
+                   for unit in job.units
+                   if unit.state in ("queued", "running", "preempted"))
+
+    def submit(self, submission: Submission) -> Job:
+        """Enqueue a validated submission; raises :class:`QuotaExceeded`.
+
+        The quota check covers the *whole* submission up front — a sweep
+        that would only partially fit is refused entirely, so a tenant
+        never ends up with a half-enqueued job.
+        """
+        active = self.active_units(submission.tenant)
+        incoming = len(submission.configs)
+        if active + incoming > self.quota_units:
+            raise QuotaExceeded(submission.tenant, active, self.quota_units,
+                                incoming=incoming)
+        self._seq += 1
+        job = Job(id=f"job-{self._seq}", seq=self._seq,
+                  tenant=submission.tenant, lane=submission.lane,
+                  kind=submission.kind,
+                  trace_requested=submission.trace,
+                  preemptible=submission.preemptible,
+                  checkpoint_at_ps=submission.checkpoint_at_ps)
+        for index, (label, config) in enumerate(
+                zip(submission.labels, submission.configs)):
+            job.units.append(Unit(
+                job=job, index=index, label=label, config=config,
+                key=config_key(config, submission.max_ps),
+                max_ps=submission.max_ps))
+        self.jobs[job.id] = job
+        self._order.append(job)
+        self.record_event(job, "job_submitted", tenant=job.tenant,
+                          priority=job.lane, units=len(job.units))
+        return job
+
+    def get(self, job_id: str) -> Job:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise UnknownJob(job_id)
+        return job
+
+    def list_jobs(self, tenant: Optional[str] = None) -> List[Job]:
+        return [job for job in self._order
+                if tenant is None or job.tenant == tenant]
+
+    # ------------------------------------------------------------------
+    # scheduling order
+    # ------------------------------------------------------------------
+    def pending_units(self) -> List[Unit]:
+        """Every queued unit, in deterministic dispatch order."""
+        pending = [unit for job in self._order for unit in job.units
+                   if unit.state == "queued"]
+        pending.sort(key=lambda unit: unit.sort_key)
+        return pending
+
+    def take_next(self) -> Optional[Unit]:
+        """Pop the most urgent queued unit (lane, then submission order)."""
+        pending = self.pending_units()
+        return pending[0] if pending else None
+
+    def requeue(self, unit: Unit, checkpoint: Dict[str, Any]) -> None:
+        """Return a preempted unit to the queue with its resume point.
+
+        The sort key is unchanged, so a preempted unit keeps its place in
+        line and migrates to the next free worker.
+        """
+        unit.checkpoint = checkpoint
+        unit.preemptions += 1
+        unit.last_worker = unit.worker
+        unit.worker = None
+        unit.state = "queued"
+
+    # ------------------------------------------------------------------
+    # events
+    # ------------------------------------------------------------------
+    def record_event(self, job: Job, event: str, **fields: Any) -> None:
+        self._event_seq += 1
+        record: Dict[str, Any] = {"seq": self._event_seq, "event": event,
+                                  "job": job.id}
+        record.update(fields)
+        job.events.append(record)
+        if self.on_event is not None:
+            self.on_event(record)
+        self.notify()
+
+    def events_since(self, job: Job, since: int = 0) -> List[Dict[str, Any]]:
+        return [event for event in job.events if event["seq"] > since]
+
+    def finish_unit_bookkeeping(self, job: Job) -> None:
+        """Roll unit completion up into the job state."""
+        states = {unit.state for unit in job.units}
+        if "failed" in states:
+            if job.state != "failed":
+                job.state = "failed"
+                job.error = "; ".join(
+                    f"{unit.label}: {unit.error}" for unit in job.units
+                    if unit.state == "failed" and unit.error)
+                self.record_event(job, "job_failed", error=job.error)
+        elif states == {"done"}:
+            if job.state != "done":
+                job.state = "done"
+                self.record_event(job, "job_done",
+                                  units=len(job.units))
+        elif job.state == "queued" and "running" in states:
+            job.state = "running"
+            self.record_event(job, "job_started")
+
+    # ------------------------------------------------------------------
+    # async wakeups (the only asyncio-aware corner)
+    # ------------------------------------------------------------------
+    def notify(self) -> None:
+        for waiter in self._waiters:
+            if not waiter.done():
+                waiter.set_result(None)
+        self._waiters.clear()
+
+    async def wait(self, predicate: Callable[[], bool],
+                   timeout: Optional[float] = None) -> bool:
+        """Wait until ``predicate()`` holds or ``timeout`` elapses.
+
+        Re-evaluated after every recorded event; returns the predicate's
+        final value (so a timeout returns ``False``).
+        """
+        while True:
+            if predicate():
+                return True
+            waiter: "asyncio.Future[None]" = \
+                asyncio.get_running_loop().create_future()
+            self._waiters.append(waiter)
+            try:
+                await asyncio.wait_for(waiter, timeout)
+            except asyncio.TimeoutError:
+                if waiter in self._waiters:
+                    self._waiters.remove(waiter)
+                return predicate()

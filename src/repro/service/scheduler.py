@@ -1,0 +1,444 @@
+"""Worker-fleet scheduler: sharding, dedupe, preemption, migration.
+
+The scheduler turns queued :class:`~repro.service.jobqueue.Unit` s into
+finished results using three layers the repo already trusts:
+
+* **execution** wraps :mod:`repro.sweep` — the same worker body
+  (:func:`repro.sweep._simulate` semantics, one fresh
+  :class:`~repro.core.kernel.Simulator` per configuration) runs either
+  sliced on the fleet's thread executor (preemptible) or offloaded to a
+  :mod:`concurrent.futures` process pool via :func:`repro.sweep._worker`
+  (``use_processes=True``, the sweep engine's own entry point);
+* **dedupe** uses the :class:`~repro.sweep.SweepCache` as a *shared
+  store*: a unit whose SHA-256 config key is already on disk is served
+  without simulating (``cached="cache"``), and identical units in
+  flight at the same moment coalesce onto one execution
+  (``cached="inflight"``) — both safe because every simulation is
+  deterministic and cache writes are atomic per writer;
+* **preemption** uses :mod:`repro.snapshot`: a draining worker runs its
+  unit only to the next slice boundary, captures a checkpoint there and
+  requeues the unit; whichever worker picks it up resumes through
+  :func:`repro.snapshot.resume_checkpoint`, which re-verifies the whole
+  state tree bit for bit before continuing — so a migrated run is
+  bit-identical to its straight-through counterpart by construction.
+
+Scheduling order is deterministic: the dispatch loop always takes the
+lowest ``(lane rank, job seq, unit index)`` unit and assigns workers in
+name order, preferring a *different* worker than the one a preempted
+unit left (migration).  All state mutation happens on the event-loop
+thread; only the simulation bodies run on executors.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional
+
+from ..platforms.loader import config_to_dict
+from ..sweep import (
+    CachedRun,
+    SweepCache,
+    _make_executor,
+    _worker,
+    result_from_dict,
+    result_to_dict,
+)
+from .jobqueue import JobQueue, Unit
+from .protocol import UnknownWorker
+
+#: Default preemption granularity: a draining worker gives up its unit
+#: at the next multiple of this simulated interval.
+DEFAULT_SLICE_PS = 1_000_000  # 1 simulated microsecond
+
+
+class Worker:
+    """One fleet member.  States: idle -> busy -> idle, or -> drained."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.state = "idle"
+        self.unit: Optional[Unit] = None
+        #: Checked by the sliced execution body between slices.
+        self.drain_flag = threading.Event()
+        self.completed = 0
+        self.preempted = 0
+
+    def view(self) -> Dict[str, Any]:
+        return {"name": self.name, "state": self.state,
+                "unit": None if self.unit is None
+                else {"job": self.unit.job.id, "index": self.unit.index},
+                "completed": self.completed, "preempted": self.preempted}
+
+
+# ----------------------------------------------------------------------
+# execution bodies (run on executors, never touch queue state)
+# ----------------------------------------------------------------------
+def _execute_fresh(document: Dict[str, Any], max_ps: int, slice_ps: int,
+                   trace: bool, forced_at_ps: Optional[int],
+                   drain: Optional[threading.Event]) -> Dict[str, Any]:
+    """Run one configuration from scratch, preemptibly.
+
+    Returns either ``{"kind": "done", ...}`` with the result document or
+    ``{"kind": "preempted", "checkpoint": ..., "at_ps": ...}`` when a
+    drain request (or the forced ``checkpoint_at_ps`` instant) carved
+    the run into a resumable checkpoint.
+    """
+    from ..core import Simulator
+    from ..platforms import build_platform
+    from ..platforms.loader import config_from_dict
+    from ..snapshot.checkpoint import _snapshot_here
+
+    config = config_from_dict(document)
+    sim = Simulator()
+    cap = None
+    if trace:
+        from ..obs import Capture
+
+        # Attached directly (not ambiently): only *this* simulator is
+        # recorded, so concurrent units never leak into the trace.
+        cap = Capture()
+        cap.attach(sim)
+    platform = build_platform(sim, config)
+    platform.prepare()
+
+    if forced_at_ps is not None:
+        sim.run(until=min(forced_at_ps, max_ps))
+        if platform._finish_ps is None and sim.now < max_ps:
+            checkpoint = _snapshot_here(platform, config, max_ps)
+            return {"kind": "preempted",
+                    "checkpoint": checkpoint.to_document(),
+                    "at_ps": sim.now}
+        # The run finished before the requested instant: fall through.
+    elif drain is not None and slice_ps > 0:
+        next_at = slice_ps
+        while next_at < max_ps:
+            sim.run(until=next_at)
+            if platform._finish_ps is not None:
+                break
+            if drain.is_set():
+                checkpoint = _snapshot_here(platform, config, max_ps)
+                return {"kind": "preempted",
+                        "checkpoint": checkpoint.to_document(),
+                        "at_ps": sim.now}
+            next_at += slice_ps
+
+    result = platform.run(max_ps=max_ps)
+    out: Dict[str, Any] = {"kind": "done",
+                           "result": result_to_dict(result),
+                           "events": sim.processed_events,
+                           "sim_time_ps": sim.now}
+    if cap is not None:
+        out["trace"] = cap.to_trace_json()
+    return out
+
+
+def _execute_resume(checkpoint_doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Resume a preempted unit from its checkpoint document.
+
+    ``resume_checkpoint`` re-elaborates the configuration, deterministically
+    fast-forwards to the checkpoint instant and verifies every component
+    against the stored state tree before continuing, so the continuation
+    is bit-identical to an uninterrupted run (``docs/SERVICE.md``).
+    """
+    from ..snapshot import Checkpoint, resume_checkpoint
+
+    checkpoint = Checkpoint.from_document(checkpoint_doc)
+    outcome = resume_checkpoint(checkpoint)
+    return {"kind": "done",
+            "result": result_to_dict(outcome.result),
+            "events": outcome.final_events,
+            "sim_time_ps": outcome.final_time_ps,
+            "resumed": True}
+
+
+class Scheduler:
+    """Owns the fleet, the dispatch loop, and the shared result store."""
+
+    def __init__(self, queue: JobQueue,
+                 fleet: int = 2,
+                 cache: Optional[SweepCache] = None,
+                 slice_ps: int = DEFAULT_SLICE_PS,
+                 use_processes: bool = False) -> None:
+        self.queue = queue
+        self.cache = cache
+        self.slice_ps = int(slice_ps)
+        self.use_processes = use_processes
+        self.workers: List[Worker] = [Worker(f"worker-{n}")
+                                      for n in range(max(1, int(fleet)))]
+        self._threads: Optional[ThreadPoolExecutor] = None
+        self._processes = None
+        self._inflight: Dict[str, "asyncio.Future[Dict[str, Any]]"] = {}
+        self._dispatch_task: Optional["asyncio.Task[None]"] = None
+        self._unit_tasks: "set[asyncio.Task[None]]" = set()
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        self._stopping = False
+        self._threads = ThreadPoolExecutor(
+            max_workers=len(self.workers),
+            thread_name_prefix="repro-service")
+        if self.use_processes:
+            # The sweep engine's own pool factory: returns None when
+            # multiprocessing is unavailable, in which case units simply
+            # stay on the thread executor.
+            self._processes = _make_executor(len(self.workers))
+        self._dispatch_task = asyncio.get_running_loop().create_task(
+            self._dispatch_loop())
+
+    async def stop(self) -> None:
+        self._stopping = True
+        self.queue.notify()
+        if self._dispatch_task is not None:
+            self._dispatch_task.cancel()
+            try:
+                await self._dispatch_task
+            except asyncio.CancelledError:
+                pass
+            self._dispatch_task = None
+        for task in list(self._unit_tasks):
+            task.cancel()
+        if self._unit_tasks:
+            await asyncio.gather(*self._unit_tasks, return_exceptions=True)
+        if self._threads is not None:
+            self._threads.shutdown(wait=False)
+            self._threads = None
+        if self._processes is not None:
+            self._processes.shutdown(wait=False)
+            self._processes = None
+
+    # ------------------------------------------------------------------
+    # worker fleet control
+    # ------------------------------------------------------------------
+    def worker(self, name: str) -> Worker:
+        for worker in self.workers:
+            if worker.name == name:
+                return worker
+        raise UnknownWorker(name)
+
+    def drain(self, name: str) -> Worker:
+        """Stop a worker accepting units; preempt its current one.
+
+        An idle worker drains immediately.  A busy worker's preemptible
+        unit is checkpointed at the next slice boundary and requeued for
+        another worker (migration); a non-preemptible unit runs to
+        completion first.  Either way the worker takes no further units
+        until :meth:`undrain`.
+        """
+        worker = self.worker(name)
+        if worker.state == "idle":
+            worker.state = "drained"
+        elif worker.state == "busy":
+            worker.state = "draining"
+            worker.drain_flag.set()
+        return worker
+
+    def undrain(self, name: str) -> Worker:
+        worker = self.worker(name)
+        worker.drain_flag.clear()
+        if worker.state in ("drained", "draining"):
+            worker.state = "idle" if worker.unit is None else "busy"
+        self.queue.notify()
+        return worker
+
+    def _idle_workers(self) -> List[Worker]:
+        return [worker for worker in self.workers if worker.state == "idle"]
+
+    def _pick_worker(self, unit: Unit) -> Optional[Worker]:
+        """Deterministic worker choice: name order, but prefer migrating
+        a preempted unit away from the worker that dropped it."""
+        idle = self._idle_workers()
+        if not idle:
+            return None
+        if unit.last_worker is not None and len(idle) > 1:
+            moved = [worker for worker in idle
+                     if worker.name != unit.last_worker]
+            if moved:
+                return moved[0]
+        return idle[0]
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatchable(self) -> bool:
+        return bool(self.queue.pending_units() and self._idle_workers())
+
+    async def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            dispatched = self._dispatch_once()
+            if not dispatched:
+                await self.queue.wait(
+                    lambda: self._stopping or self._dispatchable(),
+                    timeout=0.5)
+
+    def _dispatch_once(self) -> bool:
+        """Serve cache/in-flight hits and assign one unit; True if any."""
+        unit = self.queue.take_next()
+        if unit is None:
+            return False
+        queue = self.queue
+        job = unit.job
+        # Shared-store dedupe first: both paths retire the unit without
+        # occupying a worker.  Trace units must actually simulate here
+        # (a hit carries no spans), a resume must continue from its
+        # checkpoint, and a forced-checkpoint job exists to exercise the
+        # preemption path — all three skip dedupe.
+        dedupe_ok = (not job.trace_requested and unit.checkpoint is None
+                     and job.checkpoint_at_ps is None)
+        if dedupe_ok and self.cache is not None:
+            hit = self.cache.get(unit.key)
+            if hit is not None:
+                unit.state = "running"
+                queue.record_event(job, "unit_started", unit=unit.index,
+                                   label=unit.label, worker=None)
+                self._finish_unit(unit, {
+                    "kind": "done", "result": result_to_dict(hit.result),
+                    "events": hit.events, "sim_time_ps": hit.sim_time_ps,
+                }, cached="cache")
+                return True
+        if dedupe_ok and unit.key in self._inflight:
+            unit.state = "running"
+            queue.record_event(job, "unit_started", unit=unit.index,
+                               label=unit.label, worker=None)
+            queue.record_event(job, "unit_coalesced", unit=unit.index,
+                               key=unit.key[:16])
+            task = asyncio.get_running_loop().create_task(
+                self._follow_inflight(unit, self._inflight[unit.key]))
+            self._unit_tasks.add(task)
+            task.add_done_callback(self._unit_tasks.discard)
+            return True
+        worker = self._pick_worker(unit)
+        if worker is None:
+            return False
+        worker.state = "busy"
+        worker.unit = unit
+        unit.worker = worker.name
+        unit.state = "running"
+        queue.record_event(job, "unit_resumed" if unit.checkpoint is not None
+                           else "unit_started", unit=unit.index,
+                           label=unit.label, worker=worker.name)
+        queue.finish_unit_bookkeeping(job)
+        if dedupe_ok:
+            self._inflight[unit.key] = \
+                asyncio.get_running_loop().create_future()
+        task = asyncio.get_running_loop().create_task(
+            self._run_unit(worker, unit))
+        self._unit_tasks.add(task)
+        task.add_done_callback(self._unit_tasks.discard)
+        return True
+
+    # ------------------------------------------------------------------
+    # unit execution
+    # ------------------------------------------------------------------
+    async def _run_unit(self, worker: Worker, unit: Unit) -> None:
+        loop = asyncio.get_running_loop()
+        job = unit.job
+        try:
+            if unit.checkpoint is not None:
+                checkpoint_doc, unit.checkpoint = unit.checkpoint, None
+                out = await loop.run_in_executor(
+                    self._threads, _execute_resume, checkpoint_doc)
+            elif self._processes is not None and not job.trace_requested \
+                    and not job.preemptible:
+                # Offload through the sweep engine's process worker.
+                raw = await loop.run_in_executor(
+                    self._processes, _worker,
+                    (config_to_dict(unit.config), unit.max_ps))
+                out = {"kind": "done", "result": raw["result"],
+                       "events": int(raw["events"]),
+                       "sim_time_ps": int(raw["sim_time_ps"])}
+            else:
+                forced = None
+                if job.preemptible and unit.preemptions == 0:
+                    forced = self._forced_checkpoint_ps(unit)
+                drain = worker.drain_flag if job.preemptible else None
+                out = await loop.run_in_executor(
+                    self._threads, _execute_fresh,
+                    config_to_dict(unit.config), unit.max_ps,
+                    self.slice_ps, job.trace_requested, forced, drain)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # simulation / snapshot failures
+            self._fail_unit(unit, f"{type(exc).__name__}: {exc}")
+            self._release_worker(worker)
+            return
+
+        if out["kind"] == "preempted":
+            worker.preempted += 1
+            self.queue.record_event(job, "unit_preempted", unit=unit.index,
+                                    worker=worker.name,
+                                    at_ps=out["at_ps"])
+            self.queue.requeue(unit, out["checkpoint"])
+            self._release_worker(worker)
+            self.queue.notify()
+            return
+
+        self._finish_unit(unit, out, cached=None)
+        worker.completed += 1
+        self._release_worker(worker)
+
+    def _forced_checkpoint_ps(self, unit: Unit) -> Optional[int]:
+        return unit.job.checkpoint_at_ps
+
+    async def _follow_inflight(
+            self, unit: Unit,
+            future: "asyncio.Future[Dict[str, Any]]") -> None:
+        try:
+            out = await asyncio.shield(future)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            self._fail_unit(unit, f"{type(exc).__name__}: {exc}")
+            return
+        self._finish_unit(unit, dict(out), cached="inflight",
+                          publish=False)
+
+    def _finish_unit(self, unit: Unit, out: Dict[str, Any],
+                     cached: Optional[str], publish: bool = True) -> None:
+        job = unit.job
+        unit.result = out["result"]
+        unit.events = int(out["events"])
+        unit.sim_time_ps = int(out["sim_time_ps"])
+        unit.trace = out.get("trace")
+        unit.cached = cached
+        unit.state = "done"
+        unit.worker = None
+        if publish:
+            if cached is None and self.cache is not None:
+                self.cache.put(unit.key, CachedRun(
+                    result=result_from_dict(dict(unit.result)),
+                    events=unit.events, sim_time_ps=unit.sim_time_ps))
+            future = self._inflight.pop(unit.key, None)
+            if future is not None and not future.done():
+                future.set_result(out)
+        self.queue.record_event(
+            job, "unit_done", unit=unit.index, label=unit.label,
+            cached=cached, resumed=bool(out.get("resumed")),
+            events=unit.events, sim_time_ps=unit.sim_time_ps)
+        self.queue.finish_unit_bookkeeping(job)
+
+    def _fail_unit(self, unit: Unit, message: str) -> None:
+        unit.state = "failed"
+        unit.error = message
+        unit.worker = None
+        future = self._inflight.pop(unit.key, None)
+        if future is not None and not future.done():
+            future.set_exception(RuntimeError(message))
+        self.queue.record_event(unit.job, "unit_failed", unit=unit.index,
+                                label=unit.label, error=message)
+        self.queue.finish_unit_bookkeeping(unit.job)
+
+    def _release_worker(self, worker: Worker) -> None:
+        worker.unit = None
+        if worker.state in ("draining", "drained"):
+            worker.state = "drained"
+        else:
+            worker.state = "idle"
+        self.queue.notify()
+
+    def views(self) -> List[Dict[str, Any]]:
+        return [worker.view() for worker in self.workers]

@@ -209,13 +209,28 @@ class SweepCache:
         document = {"schema": CACHE_SCHEMA, "key": key,
                     "result": result_to_dict(run.result),
                     "events": run.events, "sim_time_ps": run.sim_time_ps}
+        # The temp file must be unique per *writer*, not per key: two
+        # processes simulating the same uncached config would otherwise
+        # interleave writes into one shared "<key>.tmp" and the rename
+        # could publish a torn entry.  mkstemp gives each writer its own
+        # file in the same directory, so os.replace stays atomic and
+        # last-writer-wins (both writers hold bit-identical results).
+        tmp = None
         try:
             self.root.mkdir(parents=True, exist_ok=True)
-            tmp = self.path_for(key).with_suffix(".tmp")
-            tmp.write_text(json.dumps(document, sort_keys=True))
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=f"{key[:16]}-",
+                                       suffix=".tmp")
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(json.dumps(document, sort_keys=True))
             os.replace(tmp, self.path_for(key))
         except OSError:
-            pass  # an unwritable cache must never fail the sweep
+            # An unwritable cache must never fail the sweep; drop the
+            # orphaned temp file if the rename is what failed.
+            if tmp is not None:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""

@@ -55,7 +55,7 @@ def test_internal_links_resolve(doc):
 #: or ``tests/...`` path they mention (links or inline code) must exist.
 _ANCHORED_DOCS = ("ARCHITECTURE.md", "PERFORMANCE.md", "OBSERVABILITY.md",
                   "CORRECTNESS.md", "CI.md", "FAST_SIM.md", "GLOSSARY.md",
-                  "DSE.md")
+                  "DSE.md", "SERVICE.md")
 
 
 @pytest.mark.parametrize("name", _ANCHORED_DOCS)

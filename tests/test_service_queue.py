@@ -1,0 +1,158 @@
+"""Job-queue tests: multi-tenant quotas, priority-lane ordering, and
+event bookkeeping (docs/SERVICE.md)."""
+
+import asyncio
+
+import pytest
+
+from repro.platforms.loader import config_to_dict
+from repro.platforms.variants import quick_config
+from repro.service import JobQueue, QuotaExceeded, UnknownJob, parse_submission
+
+CONFIG = config_to_dict(quick_config(traffic_scale=0.05))
+
+
+def submit(queue, tenant="alice", lane="normal", units=1, **extra):
+    if units == 1 and "sweep" not in extra:
+        document = {"tenant": tenant, "priority": lane, "config": CONFIG}
+    else:
+        document = {"tenant": tenant, "priority": lane, "sweep": {
+            "base": CONFIG,
+            "points": [{"label": f"p{n}", "seed": n + 1}
+                       for n in range(units)],
+        }}
+    document.update(extra)
+    return queue.submit(parse_submission(document))
+
+
+class TestQuota:
+    def test_quota_refuses_whole_submission_up_front(self):
+        """A sweep that would only partially fit is refused entirely —
+        a typed rejection, never a hang or a half-enqueued job."""
+        queue = JobQueue(quota_units=3)
+        submit(queue, units=2)
+        with pytest.raises(QuotaExceeded) as excinfo:
+            submit(queue, units=2)
+        error = excinfo.value
+        assert error.http_status == 429
+        assert (error.tenant, error.active, error.incoming, error.limit) \
+            == ("alice", 2, 2, 3)
+        # Nothing from the refused submission was enqueued.
+        assert len(queue.list_jobs()) == 1
+        assert queue.active_units("alice") == 2
+
+    def test_quota_is_per_tenant(self):
+        queue = JobQueue(quota_units=2)
+        submit(queue, tenant="alice", units=2)
+        submit(queue, tenant="bob", units=2)  # independent budget
+        with pytest.raises(QuotaExceeded):
+            submit(queue, tenant="alice", units=1)
+
+    def test_finished_units_release_quota(self):
+        queue = JobQueue(quota_units=2)
+        job = submit(queue, units=2)
+        for unit in job.units:
+            unit.state = "done"
+        assert queue.active_units("alice") == 0
+        submit(queue, units=2)  # fits again
+
+
+class TestOrdering:
+    def test_lanes_outrank_submission_order(self):
+        """Dispatch order is (lane rank, submission seq, unit index) —
+        a pure function of the submissions, independent of timing."""
+        queue = JobQueue()
+        batch = submit(queue, tenant="c", lane="batch", units=2)
+        normal = submit(queue, tenant="a", lane="normal")
+        urgent = submit(queue, tenant="b", lane="interactive")
+        order = [(unit.job.id, unit.index) for unit in queue.pending_units()]
+        assert order == [(urgent.id, 0), (normal.id, 0),
+                         (batch.id, 0), (batch.id, 1)]
+        assert queue.take_next().job is urgent
+
+    def test_same_lane_preserves_submission_order(self):
+        queue = JobQueue()
+        first = submit(queue, tenant="a")
+        second = submit(queue, tenant="b")
+        jobs = [unit.job.id for unit in queue.pending_units()]
+        assert jobs == [first.id, second.id]
+
+    def test_requeue_keeps_place_in_line(self):
+        """A preempted unit keeps its sort key, so it migrates to the
+        next free worker instead of going to the back of the queue."""
+        queue = JobQueue()
+        job = submit(queue, lane="interactive")
+        submit(queue, tenant="later", lane="normal")
+        unit = queue.take_next()
+        unit.state = "running"
+        unit.worker = "worker-0"
+        queue.requeue(unit, {"fake": "checkpoint"})
+        assert unit.state == "queued"
+        assert unit.preemptions == 1
+        assert unit.last_worker == "worker-0"
+        assert unit.checkpoint == {"fake": "checkpoint"}
+        assert queue.take_next() is unit  # still ahead of the normal job
+
+
+class TestEventsAndState:
+    def test_unknown_job_is_typed(self):
+        queue = JobQueue()
+        with pytest.raises(UnknownJob, match="job-9"):
+            queue.get("job-9")
+
+    def test_event_sequence_is_global_and_monotonic(self):
+        queue = JobQueue()
+        a = submit(queue, tenant="a")
+        b = submit(queue, tenant="b")
+        queue.record_event(a, "unit_started", unit=0)
+        queue.record_event(b, "unit_started", unit=0)
+        for job in (a, b):  # per-job logs are strictly increasing
+            seqs = [event["seq"] for event in job.events]
+            assert seqs == sorted(seqs)
+        merged = sorted(event["seq"] for event in a.events + b.events)
+        assert merged == [1, 2, 3, 4]  # one global sequence, no reuse
+        assert queue.events_since(a, since=a.events[0]["seq"]) \
+            == a.events[1:]
+
+    def test_unit_completion_rolls_up_to_job_state(self):
+        queue = JobQueue()
+        job = submit(queue, units=2)
+        job.units[0].state = "running"
+        queue.finish_unit_bookkeeping(job)
+        assert job.state == "running"
+        for unit in job.units:
+            unit.state = "done"
+        queue.finish_unit_bookkeeping(job)
+        assert job.state == "done"
+        assert job.events[-1]["event"] == "job_done"
+        assert job.progress() == {"units": 2, "done": 2}
+
+    def test_failed_unit_fails_the_job_with_its_error(self):
+        queue = JobQueue()
+        job = submit(queue, units=2)
+        job.units[0].state = "failed"
+        job.units[0].error = "exploded"
+        queue.finish_unit_bookkeeping(job)
+        assert job.state == "failed"
+        assert "exploded" in job.error
+
+    def test_wait_wakes_on_events_and_times_out(self):
+        queue = JobQueue()
+        job = submit(queue)
+
+        async def scenario():
+            # Times out: nothing marks the job done.
+            assert await queue.wait(lambda: job.state == "done",
+                                    timeout=0.05) is False
+
+            async def finish():
+                await asyncio.sleep(0.01)
+                job.state = "done"
+                queue.record_event(job, "job_done")
+
+            task = asyncio.get_running_loop().create_task(finish())
+            assert await queue.wait(lambda: job.state == "done",
+                                    timeout=5.0) is True
+            await task
+
+        asyncio.run(scenario())

@@ -1,0 +1,190 @@
+"""Scheduler tests: deterministic dispatch, dedupe layers, preemption
+and migration — driven directly on an event loop (docs/SERVICE.md)."""
+
+import asyncio
+
+from repro.platforms.loader import config_to_dict
+from repro.platforms.variants import quick_config
+from repro.service import JobQueue, Scheduler, parse_submission
+from repro.sweep import SweepCache, _simulate, result_to_dict
+
+CONFIG = config_to_dict(quick_config(traffic_scale=0.05))
+MAX_PS = 10_000_000
+
+
+def run_jobs(documents, fleet=2, cache=None, slice_ps=500_000,
+             prepare=None, timeout=120.0):
+    """Submit every document up front, run the scheduler to completion.
+
+    Submitting before the dispatch loop starts makes the dispatch order a
+    pure function of the queue contents — no wall-clock races.
+    """
+    queue = JobQueue()
+    scheduler = Scheduler(queue, fleet=fleet, cache=cache,
+                          slice_ps=slice_ps)
+    jobs = [queue.submit(parse_submission(document))
+            for document in documents]
+    if prepare is not None:
+        prepare(scheduler)
+
+    async def scenario():
+        await scheduler.start()
+        try:
+            done = await queue.wait(
+                lambda: all(job.state in ("done", "failed")
+                            for job in jobs),
+                timeout=timeout)
+            assert done, [job.view() for job in jobs]
+        finally:
+            await scheduler.stop()
+
+    asyncio.run(scenario())
+    return queue, scheduler, jobs
+
+
+def started_order(jobs):
+    """(job id, unit) pairs in the order workers picked them up."""
+    events = sorted((event for job in jobs for event in job.events
+                     if event["event"] == "unit_started"
+                     and event.get("worker") is not None),
+                    key=lambda event: event["seq"])
+    return [(event["job"], event["unit"]) for event in events]
+
+
+def doc(tenant="alice", seed=None, **overrides):
+    config = dict(CONFIG)
+    if seed is not None:  # distinct configs defeat the dedupe layers
+        config["seed"] = seed
+    base = {"tenant": tenant, "config": config, "max_us": MAX_PS / 1e6}
+    base.update(overrides)
+    return base
+
+
+class TestDeterministicDispatch:
+    def test_priority_lanes_drain_in_rank_order_on_saturated_pool(self):
+        """One worker, three lanes submitted worst-first: execution order
+        must be interactive, normal, batch regardless of arrival."""
+        documents = [
+            doc(tenant="c", priority="batch", seed=3),
+            doc(tenant="a", priority="normal", seed=2),
+            doc(tenant="b", priority="interactive", seed=1),
+        ]
+        _queue, _scheduler, jobs = run_jobs(documents, fleet=1)
+        assert started_order(jobs) == [
+            (jobs[2].id, 0), (jobs[1].id, 0), (jobs[0].id, 0)]
+
+    def test_same_lane_fifo_within_saturated_pool(self):
+        documents = [doc(tenant=f"t{n}", seed=n + 1) for n in range(3)]
+        _queue, _scheduler, jobs = run_jobs(documents, fleet=1)
+        assert started_order(jobs) == [(job.id, 0) for job in jobs]
+
+
+class TestDedupe:
+    def test_identical_inflight_units_coalesce(self):
+        """Two identical submissions racing on a 2-worker fleet: exactly
+        one simulates, the other follows its in-flight future."""
+        _q, _s, jobs = run_jobs([doc(tenant="a"), doc(tenant="b")])
+        sources = sorted(job.units[0].cached or "run" for job in jobs)
+        assert sources == ["inflight", "run"]
+        first, second = (job.units[0].result for job in jobs)
+        assert first == second
+
+    def test_cache_hit_retires_unit_without_a_worker(self, tmp_path):
+        cache = SweepCache(tmp_path / "store")
+        _q, _s, warm = run_jobs([doc()], cache=cache)
+        assert warm[0].units[0].cached is None  # cold: simulated
+
+        _q, _s, hits = run_jobs([doc()], cache=cache)
+        unit = hits[0].units[0]
+        assert unit.cached == "cache"
+        assert unit.worker is None
+        assert unit.result == warm[0].units[0].result
+
+    def test_forced_checkpoint_bypasses_cache(self, tmp_path):
+        """A checkpoint_at_us job exists to exercise preemption, so a
+        cache hit must not short-circuit it."""
+        cache = SweepCache(tmp_path / "store")
+        run_jobs([doc()], cache=cache)  # populate the store
+        _q, _s, jobs = run_jobs([doc(checkpoint_at_us=1.0)], cache=cache)
+        unit = jobs[0].units[0]
+        assert unit.cached is None
+        assert unit.preemptions == 1
+
+    def test_trace_jobs_bypass_cache(self, tmp_path):
+        cache = SweepCache(tmp_path / "store")
+        run_jobs([doc()], cache=cache)
+        _q, _s, jobs = run_jobs([doc(trace=True)], cache=cache)
+        unit = jobs[0].units[0]
+        assert unit.cached is None
+        assert unit.trace is not None
+        assert len(unit.trace["traceEvents"]) > 0
+
+
+class TestPreemption:
+    def test_forced_checkpoint_resumes_bit_identical(self):
+        """Preempt at an exact simulated instant, migrate to the other
+        worker, resume — the result must equal an uninterrupted run."""
+        _q, scheduler, jobs = run_jobs(
+            [doc(checkpoint_at_us=1.0)], fleet=2)
+        unit = jobs[0].units[0]
+        assert unit.preemptions == 1
+        events = {event["event"]: event for event in jobs[0].events}
+        assert events["unit_preempted"]["at_ps"] == 1_000_000
+        # Migration: resumed on a different worker than it started on.
+        assert events["unit_resumed"]["worker"] \
+            != events["unit_started"]["worker"]
+        straight = _simulate(quick_config(traffic_scale=0.05), MAX_PS)
+        assert unit.result == result_to_dict(straight.result)
+        assert unit.events == straight.events
+        assert unit.sim_time_ps == straight.sim_time_ps
+
+    def test_drain_flag_preempts_at_slice_boundary(self):
+        """A pre-set drain flag (deterministic stand-in for a drain
+        request) checkpoints the unit at the first slice boundary."""
+        def pre_drain(scheduler):
+            scheduler.workers[0].drain_flag.set()
+
+        _q, scheduler, jobs = run_jobs(
+            [doc(preemptible=True)], fleet=1, slice_ps=500_000,
+            prepare=pre_drain)
+        unit = jobs[0].units[0]
+        assert unit.preemptions == 1
+        preempted = [event for event in jobs[0].events
+                     if event["event"] == "unit_preempted"]
+        assert preempted[0]["at_ps"] == 500_000
+        straight = _simulate(quick_config(traffic_scale=0.05), MAX_PS)
+        assert unit.result == result_to_dict(straight.result)
+
+    def test_non_preemptible_units_ignore_the_drain_flag(self):
+        def pre_drain(scheduler):
+            scheduler.workers[0].drain_flag.set()
+
+        _q, _s, jobs = run_jobs([doc()], fleet=1, prepare=pre_drain)
+        unit = jobs[0].units[0]
+        assert unit.preemptions == 0
+        assert unit.state == "done"
+
+
+class TestFailures:
+    def test_execution_failure_fails_the_job_not_the_service(
+            self, monkeypatch):
+        from repro.service import scheduler as scheduler_module
+
+        def boom(*_args):
+            raise RuntimeError("exploded")
+
+        monkeypatch.setattr(scheduler_module, "_execute_fresh", boom)
+        _q, _s, jobs = run_jobs([doc()])
+        unit = jobs[0].units[0]
+        assert unit.state == "failed"
+        assert "exploded" in unit.error
+        assert jobs[0].state == "failed"
+        assert "exploded" in jobs[0].error
+
+    def test_checkpoint_instant_past_completion_falls_through(self):
+        """A forced instant the run never reaches must not wedge the
+        unit: the execution body falls through to normal completion."""
+        _q, _s, jobs = run_jobs([doc(checkpoint_at_us=9_999.0)])
+        unit = jobs[0].units[0]
+        assert unit.state == "done"
+        assert unit.preemptions == 0

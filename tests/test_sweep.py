@@ -54,6 +54,26 @@ def _crash_once(sentinel_path):
     return "recovered"
 
 
+def _race_put(barrier, root, key, fill, size, rounds):
+    """Hammer one cache key from a subprocess with a large, internally
+    consistent entry (uniform label fill, events == sim_time_ps ==
+    ord(fill)); any interleaving of two writers breaks the invariants.
+    The two writers use different entry sizes: a shared temp path lets
+    the shorter document land over the longer one and leave a stale tail
+    behind the closing brace."""
+    from repro.analysis.metrics import RunResult
+    from repro.sweep import CachedRun
+
+    run = CachedRun(
+        result=RunResult(label=fill * size, execution_time_ps=1,
+                         transactions=1, bytes_transferred=1),
+        events=ord(fill), sim_time_ps=ord(fill))
+    cache = SweepCache(root)
+    barrier.wait(timeout=30)  # maximise overlap between the writers
+    for _ in range(rounds):
+        cache.put(key, run)
+
+
 def _sleep_job(seconds):
     import time
 
@@ -128,6 +148,59 @@ class TestSweepCache:
         document["schema"] = CACHE_SCHEMA + 1
         cache.path_for(key).write_text(json.dumps(document))
         assert cache.get(key) is None
+
+    def test_concurrent_writers_never_publish_a_torn_entry(self, tmp_path):
+        """Regression: two processes simulating the same uncached config
+        used to share one deterministic "<key>.tmp" path, so interleaved
+        writes could rename a torn entry into place.  With per-writer
+        temp files, a reader polling *during* the race can only ever see
+        an absent entry or one writer's intact document — never a torn
+        one."""
+        import multiprocessing
+
+        context = multiprocessing.get_context()
+        root = tmp_path / "cache"
+        key = "c" * 64
+        valid = {"a" * 100_000, "b" * 400_000}
+        barrier = context.Barrier(3)  # two writers + this reader
+        writers = [
+            context.Process(target=_race_put,
+                            args=(barrier, str(root), key, fill, size, 150))
+            for fill, size in (("a", 100_000), ("b", 400_000))
+        ]
+        for writer in writers:
+            writer.start()
+
+        cache = SweepCache(root)
+        path = cache.path_for(key)
+        barrier.wait(timeout=30)
+        torn = []
+        observed = 0
+        while any(writer.is_alive() for writer in writers):
+            try:
+                raw = path.read_text()
+            except OSError:
+                continue  # not published yet (or mid-replace): fine
+            observed += 1
+            try:
+                document = json.loads(raw)
+                label = document["result"]["label"]
+                consistent = (label in valid and document["events"]
+                              == document["sim_time_ps"] == ord(label[0]))
+            except (ValueError, KeyError):
+                consistent = False
+            if not consistent and len(torn) < 3:
+                torn.append(raw[:80])
+        for writer in writers:
+            writer.join(timeout=120)
+        assert all(writer.exitcode == 0 for writer in writers)
+        assert observed > 0  # the reader really raced the writers
+        assert torn == []
+
+        hit = cache.get(key)  # final entry parses and round-trips
+        assert hit is not None
+        # No abandoned temp files once every writer has finished.
+        assert list(root.glob("*.tmp")) == []
 
     def test_len_and_clear(self, tmp_path, quick_run):
         _config, run = quick_run
